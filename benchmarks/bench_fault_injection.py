@@ -1,0 +1,56 @@
+"""DVF vs statistical fault injection (extension benchmark).
+
+Quantifies the paper's two claims about the fault-injection baseline:
+the analytical DVF ranking agrees with the empirical vulnerability
+ranking of a randomized campaign, at a small fraction of the cost.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.fi_comparison import (
+    render_fi_comparison,
+    run_fi_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_fi_comparison(trials=200, seed=0)
+
+
+def test_fi_comparison_series(benchmark, rows):
+    """Regenerate the DVF-vs-FI comparison (200 trials/structure)."""
+    result = benchmark.pedantic(
+        run_fi_comparison, kwargs={"trials": 200, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_fi_comparison(result))
+    assert {r.kernel for r in result} == {"VM", "CG", "FT", "MC"}
+
+
+def test_dvf_ranking_agrees_with_injection(rows):
+    """Spearman rho > 0.5 for every multi-structure kernel."""
+    for row in rows:
+        if len(row.failure_rates) < 2:
+            continue
+        assert not math.isnan(row.rank_correlation), row.kernel
+        assert row.rank_correlation > 0.5, row.kernel
+
+
+def test_model_is_orders_of_magnitude_cheaper(rows):
+    """Even a small 200-trial campaign costs >> one model evaluation.
+
+    (The paper's real campaigns run thousands of trials on full
+    applications; the ratio here is a conservative lower bound.)
+    """
+    for row in rows:
+        assert row.cost_ratio > 5, row.kernel
+
+
+def test_campaigns_observe_failures(rows):
+    """Sanity: the campaigns are powered enough to see failures."""
+    for row in rows:
+        assert any(rate > 0 for rate in row.failure_rates.values()), row.kernel

@@ -1,0 +1,82 @@
+"""Figure 5 benchmark: DVF profiling at paper (Table VI) scale.
+
+Regenerates the per-structure DVF bars for all six kernels across the
+four Table IV profiling caches, prints the series, and asserts the
+qualitative observations §IV-B draws from the figure.
+"""
+
+import pytest
+
+from repro.experiments.fig5_profiling import (
+    application_dvf,
+    render_fig5,
+    run_fig5,
+)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_fig5(tier="profiling")
+
+
+def test_fig5_full_series(benchmark, cells):
+    """Regenerate Figure 5 (per-structure DVF, 6 kernels x 4 caches)."""
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"tier": "profiling"}, rounds=1, iterations=1
+    )
+    print()
+    print(render_fig5(result))
+    assert {c.cache for c in result} == {"16KB", "128KB", "1MB", "8MB"}
+
+
+def test_fig5a_vm_structure_a_dominates(cells):
+    """Fig 5(a): A's DVF is clearly above B's and C's at every cache."""
+    for cache in ("16KB", "128KB", "1MB", "8MB"):
+        vm = {
+            c.structure: c.dvf
+            for c in cells
+            if c.kernel == "VM" and c.cache == cache
+        }
+        assert vm["A"] > 1.5 * vm["B"], cache
+        assert vm["A"] > 1.5 * vm["C"], cache
+
+
+def test_fig5_cg_orders_of_magnitude_above_ft(cells):
+    """§IV-B: CG's DVF is thousands of times larger than FT's."""
+    totals = application_dvf(cells)
+    for cache in ("16KB", "128KB", "1MB", "8MB"):
+        assert totals[("CG", cache)] > 1000 * totals[("FT", cache)], cache
+
+
+def test_fig5_mc_far_above_nb(cells):
+    """§IV-B: MC's DVF is much larger than NB's."""
+    totals = application_dvf(cells)
+    for cache in ("16KB", "128KB", "1MB", "8MB"):
+        assert totals[("MC", cache)] > 5 * totals[("NB", cache)], cache
+
+
+def test_fig5_ft_capacity_cliff(cells):
+    """§IV-B: FT's DVF jumps when the cache cannot hold the transform.
+
+    FT class S is 32 KB of complex data: resident from 128KB up, thrashing
+    at 16KB — the jump between those two configurations is the cliff.
+    """
+    ft = {
+        c.cache: c.dvf for c in cells if c.kernel == "FT"
+    }
+    assert ft["16KB"] > 5 * ft["128KB"]
+    # No comparable jump among the resident configurations (CL effects only).
+    assert ft["128KB"] < 5 * ft["1MB"]
+
+
+def test_fig5_streaming_stable_across_caches(cells):
+    """§IV-B: the streaming kernel shows no sudden DVF change."""
+    vm_a = {c.cache: c.dvf for c in cells if c.kernel == "VM" and c.structure == "A"}
+    values = list(vm_a.values())
+    assert max(values) / min(values) < 3.0  # line-size effects only
+
+
+def test_fig5_random_grows_gradually(cells):
+    """§IV-B: random-access DVF rises gradually as the cache shrinks."""
+    nb_t = {c.cache: c.dvf for c in cells if c.kernel == "NB" and c.structure == "T"}
+    assert nb_t["16KB"] > nb_t["128KB"] > nb_t["8MB"]

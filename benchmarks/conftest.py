@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's evaluation artifacts at
+paper scale (Tables V/VI sizes).  Heavy sweeps run ``pedantic`` with a
+single round — the point is to produce the artifact and time it, not to
+micro-benchmark it.
+"""
+
+import pytest
+
+
+def pedantic_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return pedantic_once

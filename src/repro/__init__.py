@@ -1,0 +1,23 @@
+"""repro — Data Vulnerability Factor (DVF) resilience modeling.
+
+A full reproduction of "Quantitatively Modeling Application Resilience
+with the Data Vulnerability Factor" (Yu, Li, Mittal, Vetter — SC 2014):
+the DVF metric, the CGPMAC analytical memory-access models, an extended
+Aspen DSL, a validating cache simulator + trace layer, the paper's six
+numerical kernels, and drivers regenerating every evaluation figure and
+table.
+
+Quickstart
+----------
+>>> from repro.cachesim import PAPER_CACHES
+>>> from repro.core import AnalyzerConfig, DVFAnalyzer
+>>> from repro.kernels import KERNELS, workload_for
+>>> analyzer = DVFAnalyzer(AnalyzerConfig(geometry=PAPER_CACHES["8MB"]))
+>>> report = analyzer.analyze(KERNELS["VM"], workload_for("VM", "test"))
+>>> report.ranked()[0].name   # most vulnerable data structure
+'A'
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,62 @@
+"""An Aspen-style DSL for resilience modeling (paper §II-III.D).
+
+Aspen [Spafford & Vetter, SC'12] is a domain-specific language for
+structured analytical modeling of applications and abstract machines.
+The paper extends its syntax and semantics so users can declare data
+structures, their memory access patterns (with parameters and templates)
+and machine descriptions (cache geometry + memory FIT rate), and have
+the compiler produce ``N_ha`` and DVF.  This package is a from-scratch
+implementation of that extended language:
+
+* :mod:`repro.aspen.lexer` / :mod:`repro.aspen.parser` — text to AST;
+* :mod:`repro.aspen.expr` — the arithmetic expression sub-language;
+* :mod:`repro.aspen.machine` / :mod:`repro.aspen.appmodel` — semantic
+  models built from the AST;
+* :mod:`repro.aspen.analysis` — semantic validation diagnostics;
+* :mod:`repro.aspen.compiler` — lowering onto the CGPMAC estimators;
+* :mod:`repro.aspen.builtin` — the paper's six kernels as Aspen source.
+
+Quickstart::
+
+    from repro.aspen import compile_source
+    compiled = compile_source(VM_SOURCE, machine="profiling_8mb")
+    compiled.nha_by_structure()   # {"A": ..., "B": ..., "C": ...}
+"""
+
+from repro.aspen.errors import AspenError, AspenSyntaxError, AspenSemanticError
+from repro.aspen.lexer import tokenize
+from repro.aspen.parser import parse
+from repro.aspen.machine import MachineModel
+from repro.aspen.appmodel import AppModel, DataModel, KernelModel
+from repro.aspen.analysis import Diagnostic, validate
+from repro.aspen.compiler import CompiledModel, compile_model, compile_source
+from repro.aspen.printer import format_expr, unparse
+from repro.aspen.builtin import (
+    DSL_KERNELS,
+    MACHINE_LIBRARY,
+    all_builtin_sources,
+    builtin_source,
+)
+
+__all__ = [
+    "AspenError",
+    "AspenSyntaxError",
+    "AspenSemanticError",
+    "tokenize",
+    "parse",
+    "MachineModel",
+    "AppModel",
+    "DataModel",
+    "KernelModel",
+    "Diagnostic",
+    "validate",
+    "CompiledModel",
+    "compile_model",
+    "compile_source",
+    "unparse",
+    "format_expr",
+    "builtin_source",
+    "all_builtin_sources",
+    "DSL_KERNELS",
+    "MACHINE_LIBRARY",
+]

@@ -1,0 +1,217 @@
+"""Lowering Aspen models onto the CGPMAC estimators.
+
+This is the workflow of the paper's Fig. 3: user-supplied application
+information (data structures, access patterns, templates, access order)
+plus hardware information (cache geometry, FIT) go through the extended
+Aspen compiler, producing the number of main-memory accesses per data
+structure and, combined with the execution-time model, DVF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aspen.analysis import require_valid
+from repro.aspen.appmodel import (
+    AppModel,
+    DataModel,
+    KernelModel,
+    PatternSpec,
+    build_app_model,
+)
+from repro.aspen.errors import AspenSemanticError
+from repro.aspen.machine import MachineModel
+from repro.aspen.parser import parse
+from repro.patterns.base import AccessPattern
+from repro.patterns.composite import CompositeAccessModel, parse_order
+from repro.patterns.random_access import RandomAccess
+from repro.patterns.reuse import ReuseAccess
+from repro.patterns.streaming import StreamingAccess
+from repro.patterns.template import SweepTemplate, TemplateAccess
+
+
+def build_pattern(data: DataModel, spec: PatternSpec) -> AccessPattern:
+    """Instantiate the CGPMAC estimator for one data structure."""
+    props = spec.properties
+    if spec.kind == "streaming":
+        return StreamingAccess(
+            element_size=data.element_size,
+            num_elements=data.num_elements,
+            stride_elements=int(props.get("stride", 1)),
+            sweeps=int(props.get("sweeps", 1)),
+            aligned=bool(props.get("aligned", 0)),
+        )
+    if spec.kind == "random":
+        return RandomAccess(
+            num_elements=data.num_elements,
+            element_size=data.element_size,
+            distinct_per_iteration=props["distinct"],
+            iterations=int(props["iterations"]),
+            cache_ratio=props.get("cache_ratio", 1.0),
+        )
+    if spec.kind == "template":
+        template: list = list(spec.refs)
+        for sweep in spec.sweeps:
+            template.append(
+                SweepTemplate(start=sweep.start, step=sweep.step, end=sweep.end)
+            )
+        return TemplateAccess(
+            element_size=data.element_size,
+            template=template,
+            num_elements=data.num_elements,
+            repeats=int(props.get("repeats", 1)),
+            cache_ratio=props.get("cache_ratio", 1.0),
+        )
+    if spec.kind == "reuse":
+        return ReuseAccess(
+            target_bytes=data.size_bytes,
+            interfering_bytes=int(props.get("interfering", 0)),
+            reuse_count=int(props.get("reuses", 1)),
+        )
+    raise AspenSemanticError(f"unknown pattern kind {spec.kind!r}")
+
+
+def composite_base_pattern(data: DataModel, spec: PatternSpec) -> AccessPattern:
+    """Base (first-use) pattern for a structure inside an access order.
+
+    Inside a composite, later uses are charged through the reuse model;
+    a ``reuse``-kind declaration therefore lowers its *first* use to a
+    cold full load (a unit-stride stream), while the other kinds keep
+    their own estimator.
+    """
+    if spec.kind == "reuse":
+        return StreamingAccess(
+            element_size=data.element_size, num_elements=data.num_elements
+        )
+    return build_pattern(data, spec)
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """An application model lowered against a machine.
+
+    Produced by :func:`compile_model`; exposes the two quantities DVF
+    needs (``N_ha`` per structure and the execution time) plus the raw
+    pattern objects for inspection.
+    """
+
+    app: AppModel
+    machine: MachineModel
+    kernel: KernelModel
+    patterns: dict[str, AccessPattern]
+    composite: CompositeAccessModel | None
+
+    # ------------------------------------------------------------------
+    def nha_by_structure(self) -> dict[str, float]:
+        """Expected main-memory accesses per data structure."""
+        if self.composite is not None:
+            out = self.composite.estimate_by_structure(self.machine.cache)
+            # Structures outside the access order still contribute.
+            for name, pattern in self.patterns.items():
+                if name not in out:
+                    out[name] = pattern.estimate_accesses(self.machine.cache)
+            return out
+        return {
+            name: pattern.estimate_accesses(self.machine.cache)
+            for name, pattern in self.patterns.items()
+        }
+
+    def nha_total(self) -> float:
+        """Total expected main-memory accesses."""
+        return sum(self.nha_by_structure().values())
+
+    def data_sizes(self) -> dict[str, int]:
+        """Footprint ``S_d`` (bytes) per modeled data structure."""
+        return {
+            name: self.app.data[name].size_bytes for name in self.patterns
+        }
+
+    def runtime_seconds(self) -> float:
+        """Execution time ``T``: measured override or roofline estimate."""
+        if self.kernel.time is not None:
+            return self.kernel.time
+        return self.machine.roofline_seconds(
+            self.kernel.flops, self.kernel.bytes_moved
+        )
+
+    # ------------------------------------------------------------------
+    def dvf_by_structure(self) -> dict[str, float]:
+        """``DVF_d`` for every modeled data structure (Eq. 1)."""
+        # Imported lazily: repro.core's package init imports the analyzer,
+        # which imports this module.
+        from repro.core.dvf import dvf_data
+
+        time_s = self.runtime_seconds()
+        fit = self.machine.fit
+        sizes = self.data_sizes()
+        return {
+            name: dvf_data(fit, time_s, sizes[name], nha)
+            for name, nha in self.nha_by_structure().items()
+        }
+
+    def dvf_application(self) -> float:
+        """``DVF_a = sum_d DVF_d`` (Eq. 2)."""
+        return sum(self.dvf_by_structure().values())
+
+
+def compile_model(
+    app: AppModel,
+    machine: MachineModel,
+    kernel: str | None = None,
+) -> CompiledModel:
+    """Lower an evaluated app model against a machine."""
+    require_valid(app, machine)
+    kernel_model = app.kernel(kernel)
+    patterns: dict[str, AccessPattern] = {}
+    for name, data in app.data.items():
+        if data.pattern is not None:
+            patterns[name] = build_pattern(data, data.pattern)
+    composite = None
+    if kernel_model.order is not None:
+        events = parse_order(kernel_model.order)
+        names = {n for event in events for n in event}
+        base = {
+            name: composite_base_pattern(app.data[name], app.data[name].pattern)
+            for name in names
+        }
+        composite = CompositeAccessModel(
+            patterns=base,
+            order=events,
+            iterations=kernel_model.iterations,
+        )
+    return CompiledModel(
+        app=app,
+        machine=machine,
+        kernel=kernel_model,
+        patterns=patterns,
+        composite=composite,
+    )
+
+
+def compile_source(
+    source: str,
+    model: str | None = None,
+    machine: str | MachineModel | None = None,
+    kernel: str | None = None,
+    params: dict[str, float] | None = None,
+) -> CompiledModel:
+    """Parse, evaluate and lower Aspen source in one step.
+
+    Parameters
+    ----------
+    source:
+        Aspen DSL text containing at least one ``model`` and (unless a
+        :class:`MachineModel` is passed) one ``machine``.
+    model / machine / kernel:
+        Names selecting among multiple declarations; each may be omitted
+        when the source declares exactly one.
+    params:
+        Model parameter overrides (e.g. ``{"n": 800}``).
+    """
+    program = parse(source)
+    app = build_app_model(program.model(model), overrides=params)
+    if isinstance(machine, MachineModel):
+        machine_model = machine
+    else:
+        machine_model = MachineModel.from_decl(program.machine(machine))
+    return compile_model(app, machine_model, kernel=kernel)

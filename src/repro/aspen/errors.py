@@ -1,0 +1,26 @@
+"""Error types for the Aspen DSL with source-position reporting."""
+
+from __future__ import annotations
+
+
+class AspenError(Exception):
+    """Base class for all Aspen DSL errors."""
+
+
+class AspenSyntaxError(AspenError):
+    """Lexing or parsing failure, carrying the offending source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class AspenSemanticError(AspenError):
+    """A well-formed model that is semantically invalid."""
+
+
+class AspenEvalError(AspenError):
+    """Expression evaluation failure (unknown parameter, bad call, ...)."""

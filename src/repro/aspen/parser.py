@@ -1,0 +1,408 @@
+"""Recursive-descent parser for the Aspen DSL.
+
+Grammar (EBNF, newline/comma both separate properties)::
+
+    program     := (model | machine)*
+    model       := "model" IDENT "{" model_item* "}"
+    model_item  := param | data | kernel
+    param       := "param" IDENT "=" expr
+    data        := "data" IDENT "{" data_item* "}"
+    data_item   := property | dims | pattern
+    dims        := "dims" ":" "(" expr ("," expr)* ")"
+    pattern     := "pattern" IDENT "{" pattern_item* "}"
+    pattern_item:= property | sweep | refs
+    sweep       := "sweep" "{" sweep_item* "}"
+    sweep_item  := ("start"|"end") ":" "(" indexref ("," indexref)* ")"
+                 | "step" ":" expr
+    refs        := "refs" ":" "(" indexref ("," indexref)* ")"
+    indexref    := IDENT "[" expr ("," expr)* "]"
+    kernel      := "kernel" IDENT "{" kernel_item* "}"
+    kernel_item := "order" ":" STRING | property
+    machine     := "machine" IDENT "{" (param | section)* "}"
+    section     := IDENT "{" property* "}"
+    property    := IDENT ":" expr
+    expr        := additive with * / % binding tighter, ^ tightest,
+                   unary +/-, calls f(a, b), parentheses
+
+Notable: ``refs``/``start``/``end`` groups contain multi-dimensional
+element references like ``R[2, 1, 1]`` (0-based, row-major over the
+data declaration's ``dims``).
+"""
+
+from __future__ import annotations
+
+from repro.aspen.ast import (
+    DataDecl,
+    IndexRef,
+    KernelDecl,
+    MachineDecl,
+    ModelDecl,
+    ParamDecl,
+    PatternDecl,
+    Program,
+    SweepDecl,
+)
+from repro.aspen.errors import AspenSyntaxError
+from repro.aspen.expr import BinOp, Call, Expr, Num, Unary, Var
+from repro.aspen.lexer import tokenize
+from repro.aspen.tokens import Token, TokenType
+
+_T = TokenType
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not _T.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, ttype: TokenType, value: str | None = None) -> bool:
+        token = self.peek()
+        return token.type is ttype and (value is None or token.value == value)
+
+    def match(self, ttype: TokenType, value: str | None = None) -> Token | None:
+        if self.check(ttype, value):
+            return self.advance()
+        return None
+
+    def expect(self, ttype: TokenType, what: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if token.type is ttype and (value is None or token.value == value):
+            return self.advance()
+        raise AspenSyntaxError(
+            f"expected {what}, found {token.value!r}", token.line, token.column
+        )
+
+    def skip_newlines(self) -> None:
+        while self.match(_T.NEWLINE) or self.match(_T.COMMA):
+            pass
+
+    # -- program ---------------------------------------------------------
+    def parse_program(self) -> Program:
+        models: list[ModelDecl] = []
+        machines: list[MachineDecl] = []
+        self.skip_newlines()
+        while not self.check(_T.EOF):
+            if self.check(_T.KEYWORD, "model"):
+                models.append(self.parse_model())
+            elif self.check(_T.KEYWORD, "machine"):
+                machines.append(self.parse_machine())
+            else:
+                token = self.peek()
+                raise AspenSyntaxError(
+                    f"expected 'model' or 'machine', found {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+            self.skip_newlines()
+        return Program(models=tuple(models), machines=tuple(machines))
+
+    # -- model -----------------------------------------------------------
+    def parse_model(self) -> ModelDecl:
+        keyword = self.expect(_T.KEYWORD, "'model'", "model")
+        name = self.expect(_T.IDENT, "model name").value
+        self.expect(_T.LBRACE, "'{'")
+        params: list[ParamDecl] = []
+        data: list[DataDecl] = []
+        kernels: list[KernelDecl] = []
+        self.skip_newlines()
+        while not self.check(_T.RBRACE):
+            if self.check(_T.KEYWORD, "param"):
+                params.append(self.parse_param())
+            elif self.check(_T.KEYWORD, "data"):
+                data.append(self.parse_data())
+            elif self.check(_T.KEYWORD, "kernel"):
+                kernels.append(self.parse_kernel())
+            else:
+                token = self.peek()
+                raise AspenSyntaxError(
+                    f"expected 'param', 'data' or 'kernel', found {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+            self.skip_newlines()
+        self.expect(_T.RBRACE, "'}'")
+        return ModelDecl(
+            name=name,
+            params=tuple(params),
+            data=tuple(data),
+            kernels=tuple(kernels),
+            line=keyword.line,
+        )
+
+    def parse_param(self) -> ParamDecl:
+        keyword = self.expect(_T.KEYWORD, "'param'", "param")
+        name = self.expect(_T.IDENT, "parameter name").value
+        self.expect(_T.EQUALS, "'='")
+        value = self.parse_expr()
+        return ParamDecl(name=name, value=value, line=keyword.line)
+
+    # -- data -------------------------------------------------------------
+    def parse_data(self) -> DataDecl:
+        keyword = self.expect(_T.KEYWORD, "'data'", "data")
+        name = self.expect(_T.IDENT, "data-structure name").value
+        self.expect(_T.LBRACE, "'{'")
+        properties: dict[str, Expr] = {}
+        dims: tuple[Expr, ...] = ()
+        pattern: PatternDecl | None = None
+        self.skip_newlines()
+        while not self.check(_T.RBRACE):
+            if self.check(_T.KEYWORD, "pattern"):
+                if pattern is not None:
+                    token = self.peek()
+                    raise AspenSyntaxError(
+                        f"data {name!r} declares multiple patterns",
+                        token.line,
+                        token.column,
+                    )
+                pattern = self.parse_pattern()
+            else:
+                prop = self.expect(_T.IDENT, "property name").value
+                self.expect(_T.COLON, "':'")
+                if prop == "dims":
+                    dims = tuple(self.parse_expr_group())
+                else:
+                    properties[prop] = self.parse_expr()
+            self.skip_newlines()
+        self.expect(_T.RBRACE, "'}'")
+        return DataDecl(
+            name=name,
+            properties=properties,
+            dims=dims,
+            pattern=pattern,
+            line=keyword.line,
+        )
+
+    def parse_pattern(self) -> PatternDecl:
+        keyword = self.expect(_T.KEYWORD, "'pattern'", "pattern")
+        kind = self.expect(_T.IDENT, "pattern kind").value
+        properties: dict[str, Expr] = {}
+        sweeps: list[SweepDecl] = []
+        refs: list[IndexRef] = []
+        if self.match(_T.LBRACE):
+            self.skip_newlines()
+            while not self.check(_T.RBRACE):
+                if self.check(_T.KEYWORD, "sweep"):
+                    sweeps.append(self.parse_sweep())
+                else:
+                    prop = self.expect(_T.IDENT, "property name").value
+                    self.expect(_T.COLON, "':'")
+                    if prop == "refs":
+                        refs.extend(self.parse_indexref_group())
+                    else:
+                        properties[prop] = self.parse_expr()
+                self.skip_newlines()
+            self.expect(_T.RBRACE, "'}'")
+        return PatternDecl(
+            kind=kind,
+            properties=properties,
+            sweeps=tuple(sweeps),
+            refs=tuple(refs),
+            line=keyword.line,
+        )
+
+    def parse_sweep(self) -> SweepDecl:
+        keyword = self.expect(_T.KEYWORD, "'sweep'", "sweep")
+        self.expect(_T.LBRACE, "'{'")
+        start: tuple[IndexRef, ...] | None = None
+        end: tuple[IndexRef, ...] | None = None
+        step: Expr | None = None
+        self.skip_newlines()
+        while not self.check(_T.RBRACE):
+            prop = self.expect(_T.IDENT, "'start', 'step' or 'end'").value
+            self.expect(_T.COLON, "':'")
+            if prop == "start":
+                start = tuple(self.parse_indexref_group())
+            elif prop == "end":
+                end = tuple(self.parse_indexref_group())
+            elif prop == "step":
+                step = self.parse_expr()
+            else:
+                raise AspenSyntaxError(
+                    f"unknown sweep property {prop!r}",
+                    keyword.line,
+                    keyword.column,
+                )
+            self.skip_newlines()
+        self.expect(_T.RBRACE, "'}'")
+        if start is None or end is None:
+            raise AspenSyntaxError(
+                "sweep requires 'start' and 'end' groups",
+                keyword.line,
+                keyword.column,
+            )
+        return SweepDecl(
+            start=start,
+            step=step if step is not None else Num(1.0),
+            end=end,
+            line=keyword.line,
+        )
+
+    def parse_indexref_group(self) -> list[IndexRef]:
+        self.expect(_T.LPAREN, "'('")
+        refs = [self.parse_indexref()]
+        while self.match(_T.COMMA):
+            self.skip_newlines()
+            refs.append(self.parse_indexref())
+        self.expect(_T.RPAREN, "')'")
+        return refs
+
+    def parse_indexref(self) -> IndexRef:
+        self.skip_newlines()
+        name_token = self.expect(_T.IDENT, "data-structure name")
+        self.expect(_T.LBRACKET, "'['")
+        indices = [self.parse_expr()]
+        while self.match(_T.COMMA):
+            indices.append(self.parse_expr())
+        self.expect(_T.RBRACKET, "']'")
+        return IndexRef(
+            data=name_token.value,
+            indices=tuple(indices),
+            line=name_token.line,
+        )
+
+    def parse_expr_group(self) -> list[Expr]:
+        self.expect(_T.LPAREN, "'('")
+        exprs = [self.parse_expr()]
+        while self.match(_T.COMMA):
+            exprs.append(self.parse_expr())
+        self.expect(_T.RPAREN, "')'")
+        return exprs
+
+    # -- kernel -------------------------------------------------------------
+    def parse_kernel(self) -> KernelDecl:
+        keyword = self.expect(_T.KEYWORD, "'kernel'", "kernel")
+        name = self.expect(_T.IDENT, "kernel name").value
+        self.expect(_T.LBRACE, "'{'")
+        properties: dict[str, Expr] = {}
+        order: str | None = None
+        self.skip_newlines()
+        while not self.check(_T.RBRACE):
+            prop = self.expect(_T.IDENT, "property name").value
+            self.expect(_T.COLON, "':'")
+            if prop == "order":
+                order = self.expect(_T.STRING, "order string").value
+            else:
+                properties[prop] = self.parse_expr()
+            self.skip_newlines()
+        self.expect(_T.RBRACE, "'}'")
+        return KernelDecl(
+            name=name, properties=properties, order=order, line=keyword.line
+        )
+
+    # -- machine -------------------------------------------------------------
+    def parse_machine(self) -> MachineDecl:
+        keyword = self.expect(_T.KEYWORD, "'machine'", "machine")
+        name = self.expect(_T.IDENT, "machine name").value
+        self.expect(_T.LBRACE, "'{'")
+        sections: dict[str, dict[str, Expr]] = {}
+        params: list[ParamDecl] = []
+        self.skip_newlines()
+        while not self.check(_T.RBRACE):
+            if self.check(_T.KEYWORD, "param"):
+                params.append(self.parse_param())
+                self.skip_newlines()
+                continue
+            section = self.expect(_T.IDENT, "section name").value
+            self.expect(_T.LBRACE, "'{'")
+            props: dict[str, Expr] = {}
+            self.skip_newlines()
+            while not self.check(_T.RBRACE):
+                prop = self.expect(_T.IDENT, "property name").value
+                self.expect(_T.COLON, "':'")
+                props[prop] = self.parse_expr()
+                self.skip_newlines()
+            self.expect(_T.RBRACE, "'}'")
+            if section in sections:
+                raise AspenSyntaxError(
+                    f"machine {name!r} repeats section {section!r}",
+                    keyword.line,
+                    keyword.column,
+                )
+            sections[section] = props
+            self.skip_newlines()
+        self.expect(_T.RBRACE, "'}'")
+        return MachineDecl(
+            name=name, sections=sections, params=tuple(params), line=keyword.line
+        )
+
+    # -- expressions -----------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_additive()
+
+    def parse_additive(self) -> Expr:
+        expr = self.parse_multiplicative()
+        while True:
+            if self.match(_T.PLUS):
+                expr = BinOp("+", expr, self.parse_multiplicative())
+            elif self.match(_T.MINUS):
+                expr = BinOp("-", expr, self.parse_multiplicative())
+            else:
+                return expr
+
+    def parse_multiplicative(self) -> Expr:
+        expr = self.parse_power()
+        while True:
+            if self.match(_T.STAR):
+                expr = BinOp("*", expr, self.parse_power())
+            elif self.match(_T.SLASH):
+                expr = BinOp("/", expr, self.parse_power())
+            elif self.match(_T.PERCENT):
+                expr = BinOp("%", expr, self.parse_power())
+            else:
+                return expr
+
+    def parse_power(self) -> Expr:
+        base = self.parse_unary()
+        if self.match(_T.CARET):
+            # Right-associative exponentiation.
+            return BinOp("^", base, self.parse_power())
+        return base
+
+    def parse_unary(self) -> Expr:
+        if self.match(_T.MINUS):
+            return Unary("-", self.parse_unary())
+        if self.match(_T.PLUS):
+            return Unary("+", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.peek()
+        if token.type is _T.NUMBER:
+            self.advance()
+            return Num(float(token.value))
+        if token.type is _T.IDENT:
+            self.advance()
+            if self.match(_T.LPAREN):
+                args: list[Expr] = []
+                if not self.check(_T.RPAREN):
+                    args.append(self.parse_expr())
+                    while self.match(_T.COMMA):
+                        args.append(self.parse_expr())
+                self.expect(_T.RPAREN, "')'")
+                return Call(token.value, tuple(args))
+            return Var(token.value)
+        if token.type is _T.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(_T.RPAREN, "')'")
+            return expr
+        raise AspenSyntaxError(
+            f"expected an expression, found {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse(source: str) -> Program:
+    """Parse Aspen DSL source text into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,161 @@
+"""Pretty-printer (unparser) for Aspen ASTs.
+
+Turns a parsed :class:`~repro.aspen.ast.Program` back into canonical
+DSL source.  Guaranteed round trip: ``parse(unparse(parse(src)))``
+produces an AST equal to ``parse(src)`` — property-tested in
+``tests/aspen/test_printer.py``.  Useful for normalising hand-written
+models, emitting models programmatically, and diffing model versions.
+"""
+
+from __future__ import annotations
+
+from repro.aspen.ast import (
+    DataDecl,
+    IndexRef,
+    KernelDecl,
+    MachineDecl,
+    ModelDecl,
+    ParamDecl,
+    PatternDecl,
+    Program,
+    SweepDecl,
+)
+from repro.aspen.expr import BinOp, Call, Expr, Num, Unary, Var
+
+_INDENT = "  "
+
+#: Operator precedence used to minimise parentheses.
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2, "%": 2, "^": 3}
+
+
+def format_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Num):
+        value = expr.value
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Unary):
+        inner = format_expr(expr.operand, 4)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, BinOp):
+        precedence = _PRECEDENCE[expr.op]
+        # Left-associative operators parenthesise an equal-precedence
+        # right operand (a - (b - c)); the right-associative ^ instead
+        # parenthesises an equal-precedence *left* operand ((a^b)^c).
+        left_parent = precedence + (1 if expr.op == "^" else 0)
+        right_parent = precedence + (1 if expr.op in "-/%" else 0)
+        left = format_expr(expr.left, left_parent)
+        right = format_expr(expr.right, right_parent)
+        text = f"{left} {expr.op} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _format_indexref(ref: IndexRef) -> str:
+    indices = ", ".join(format_expr(i) for i in ref.indices)
+    return f"{ref.data}[{indices}]"
+
+
+def _format_param(param: ParamDecl, depth: int) -> str:
+    return f"{_INDENT * depth}param {param.name} = {format_expr(param.value)}"
+
+
+def _format_sweep(sweep: SweepDecl, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    inner = _INDENT * (depth + 1)
+    start = ", ".join(_format_indexref(r) for r in sweep.start)
+    end = ", ".join(_format_indexref(r) for r in sweep.end)
+    return [
+        f"{pad}sweep {{",
+        f"{inner}start: ({start})",
+        f"{inner}step: {format_expr(sweep.step)}",
+        f"{inner}end: ({end})",
+        f"{pad}}}",
+    ]
+
+
+def _format_pattern(pattern: PatternDecl, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    inner = _INDENT * (depth + 1)
+    header = f"{pad}pattern {pattern.kind}"
+    if not pattern.properties and not pattern.sweeps and not pattern.refs:
+        return [header]
+    lines = [header + " {"]
+    for key, value in pattern.properties.items():
+        lines.append(f"{inner}{key}: {format_expr(value)}")
+    if pattern.refs:
+        refs = ", ".join(_format_indexref(r) for r in pattern.refs)
+        lines.append(f"{inner}refs: ({refs})")
+    for sweep in pattern.sweeps:
+        lines.extend(_format_sweep(sweep, depth + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def _format_data(data: DataDecl, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    inner = _INDENT * (depth + 1)
+    lines = [f"{pad}data {data.name} {{"]
+    for key, value in data.properties.items():
+        lines.append(f"{inner}{key}: {format_expr(value)}")
+    if data.dims:
+        dims = ", ".join(format_expr(d) for d in data.dims)
+        lines.append(f"{inner}dims: ({dims})")
+    if data.pattern is not None:
+        lines.extend(_format_pattern(data.pattern, depth + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def _format_kernel(kernel: KernelDecl, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    inner = _INDENT * (depth + 1)
+    lines = [f"{pad}kernel {kernel.name} {{"]
+    if kernel.order is not None:
+        lines.append(f'{inner}order: "{kernel.order}"')
+    for key, value in kernel.properties.items():
+        lines.append(f"{inner}{key}: {format_expr(value)}")
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def format_model(model: ModelDecl) -> str:
+    """Render one model declaration."""
+    lines = [f"model {model.name} {{"]
+    for param in model.params:
+        lines.append(_format_param(param, 1))
+    for data in model.data:
+        lines.extend(_format_data(data, 1))
+    for kernel in model.kernels:
+        lines.extend(_format_kernel(kernel, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_machine(machine: MachineDecl) -> str:
+    """Render one machine declaration."""
+    lines = [f"machine {machine.name} {{"]
+    for param in machine.params:
+        lines.append(_format_param(param, 1))
+    for section, props in machine.sections.items():
+        lines.append(f"{_INDENT}{section} {{")
+        for key, value in props.items():
+            lines.append(f"{_INDENT * 2}{key}: {format_expr(value)}")
+        lines.append(f"{_INDENT}}}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def unparse(program: Program) -> str:
+    """Render a whole program back to canonical DSL source."""
+    chunks = [format_model(m) for m in program.models]
+    chunks.extend(format_machine(m) for m in program.machines)
+    return "\n\n".join(chunks) + "\n"

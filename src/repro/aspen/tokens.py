@@ -1,0 +1,78 @@
+"""Token definitions for the Aspen DSL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    KEYWORD = auto()
+    LBRACE = auto()    # {
+    RBRACE = auto()    # }
+    LPAREN = auto()    # (
+    RPAREN = auto()    # )
+    LBRACKET = auto()  # [
+    RBRACKET = auto()  # ]
+    COLON = auto()     # :
+    COMMA = auto()     # ,
+    EQUALS = auto()    # =
+    PLUS = auto()      # +
+    MINUS = auto()     # -
+    STAR = auto()      # *
+    SLASH = auto()     # /
+    PERCENT = auto()   # %
+    CARET = auto()     # ^
+    NEWLINE = auto()
+    EOF = auto()
+
+
+#: Reserved words of the DSL.
+KEYWORDS = frozenset(
+    {
+        "model",
+        "machine",
+        "param",
+        "data",
+        "kernel",
+        "pattern",
+        "sweep",
+    }
+)
+
+#: Single-character tokens.
+PUNCTUATION: dict[str, TokenType] = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    "=": TokenType.EQUALS,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "^": TokenType.CARET,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,128 @@
+"""Cache geometry descriptions and the paper's named configurations.
+
+The notation follows Table III of the paper:
+
+====  =====================================
+CA    cache associativity
+NA    number of cache sets
+CL    cache line length (bytes)
+Cc    cache capacity (bytes)
+====  =====================================
+
+Table IV of the paper lists six configurations (two for model
+verification, four for DVF profiling).  Two of the profiling rows are
+internally inconsistent in the paper (``CA*NA*CL`` does not equal the
+advertised capacity for the "1MB" and "8MB" rows); we keep the paper's
+``CA``/``NA``/``CL`` triples verbatim — the analytical models and the
+simulator only ever consume the triple, never the advertised label — and
+expose the *actual* capacity via :attr:`CacheGeometry.capacity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CacheGeometry:
+    """Shape of a set-associative cache.
+
+    Parameters
+    ----------
+    associativity:
+        Number of ways per set (``CA``).
+    num_sets:
+        Number of sets (``NA``).
+    line_size:
+        Cache line length in bytes (``CL``); must be a power of two.
+    name:
+        Optional human-readable label (e.g. ``"8MB"``).
+    """
+
+    associativity: int
+    num_sets: int
+    line_size: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.associativity < 1:
+            raise ValueError(f"associativity must be >= 1, got {self.associativity}")
+        if self.num_sets < 1:
+            raise ValueError(f"num_sets must be >= 1, got {self.num_sets}")
+        if self.line_size < 1 or (self.line_size & (self.line_size - 1)) != 0:
+            raise ValueError(
+                f"line_size must be a positive power of two, got {self.line_size}"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Total capacity ``Cc = CA * NA * CL`` in bytes."""
+        return self.associativity * self.num_sets * self.line_size
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of cache blocks (lines) the cache can hold."""
+        return self.associativity * self.num_sets
+
+    def set_index(self, address: int) -> int:
+        """Map a byte address to its cache-set index."""
+        return (address // self.line_size) % self.num_sets
+
+    def tag(self, address: int) -> int:
+        """Map a byte address to its tag (line id divided by set count)."""
+        return (address // self.line_size) // self.num_sets
+
+    def line_id(self, address: int) -> int:
+        """Map a byte address to a global cache-line identifier."""
+        return address // self.line_size
+
+    def lines_touched(self, address: int, size: int) -> range:
+        """Global line ids touched by an access of ``size`` bytes."""
+        if size < 1:
+            raise ValueError(f"access size must be >= 1, got {size}")
+        first = address // self.line_size
+        last = (address + size - 1) // self.line_size
+        return range(first, last + 1)
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        label = self.name or "cache"
+        return (
+            f"{label}: CA={self.associativity} NA={self.num_sets} "
+            f"CL={self.line_size}B Cc={self.capacity}B"
+        )
+
+
+def _geo(ca: int, na: int, cl: int, name: str) -> CacheGeometry:
+    return CacheGeometry(associativity=ca, num_sets=na, line_size=cl, name=name)
+
+
+#: Verification caches (paper Table IV, rows 1-2).
+SMALL_VERIFICATION = _geo(4, 64, 32, "small-verification")    # 8 KB
+LARGE_VERIFICATION = _geo(16, 4096, 64, "large-verification")  # 4 MB
+
+#: Profiling caches (paper Table IV, rows 3-6).  Labels follow the paper;
+#: the "1MB" and "8MB" rows are kept verbatim even though CA*NA*CL gives
+#: 768 KB and 4 MB respectively (see module docstring).
+CACHE_16KB = _geo(2, 1024, 8, "16KB")
+CACHE_128KB = _geo(4, 2048, 16, "128KB")
+CACHE_1MB = _geo(6, 4096, 32, "1MB")
+CACHE_8MB = _geo(8, 8192, 64, "8MB")
+
+VERIFICATION_CACHES: dict[str, CacheGeometry] = {
+    "small": SMALL_VERIFICATION,
+    "large": LARGE_VERIFICATION,
+}
+
+PROFILING_CACHES: dict[str, CacheGeometry] = {
+    "16KB": CACHE_16KB,
+    "128KB": CACHE_128KB,
+    "1MB": CACHE_1MB,
+    "8MB": CACHE_8MB,
+}
+
+#: All named caches of paper Table IV.
+PAPER_CACHES: dict[str, CacheGeometry] = {
+    **VERIFICATION_CACHES,
+    **PROFILING_CACHES,
+}

@@ -1,0 +1,93 @@
+"""Per-data-structure cache statistics.
+
+The paper's cache simulator "can report the number of cache misses and
+writebacks" per data structure; the analytical CGPMAC models estimate the
+number of *loads* from main memory (misses).  We therefore track hits,
+misses and writebacks separately so that validation can compare on
+misses while full main-memory traffic (misses + writebacks) remains
+available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class LabelStats:
+    """Counters for one data-structure label."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total cache accesses (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def memory_accesses(self) -> int:
+        """Total main-memory transactions (misses + writebacks)."""
+        return self.misses + self.writebacks
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over cache accesses; 0.0 when there were none."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def merge(self, other: "LabelStats") -> None:
+        """Accumulate ``other`` into this counter set."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Aggregated statistics keyed by data-structure label."""
+
+    by_label: dict[str, LabelStats] = field(default_factory=dict)
+
+    def label(self, name: str) -> LabelStats:
+        """Counters for ``name``, creating them on first use."""
+        stats = self.by_label.get(name)
+        if stats is None:
+            stats = LabelStats()
+            self.by_label[name] = stats
+        return stats
+
+    def misses(self, name: str) -> int:
+        """Miss count for one label (0 if the label never appeared)."""
+        stats = self.by_label.get(name)
+        return stats.misses if stats else 0
+
+    def memory_accesses(self, name: str) -> int:
+        """Misses + writebacks for one label."""
+        stats = self.by_label.get(name)
+        return stats.memory_accesses if stats else 0
+
+    @property
+    def total(self) -> LabelStats:
+        """Sum over all labels."""
+        agg = LabelStats()
+        for stats in self.by_label.values():
+            agg.merge(stats)
+        return agg
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats object into this one."""
+        for name, stats in other.by_label.items():
+            self.label(name).merge(stats)
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Plain-dict form for serialisation and report rendering."""
+        return {
+            name: {
+                "hits": s.hits,
+                "misses": s.misses,
+                "writebacks": s.writebacks,
+            }
+            for name, s in sorted(self.by_label.items())
+        }

@@ -1,0 +1,94 @@
+"""Execution-time providers for the DVF ``T`` term.
+
+The paper measures kernel execution times on real hardware.  We provide
+two interchangeable providers:
+
+* :class:`RooflineRuntime` — Aspen's own style of analytical performance
+  model: ``T = max(flops / peak_flops, bytes / bandwidth)``.  Fully
+  deterministic; the default everywhere reproducibility matters.
+* :class:`MeasuredRuntime` — wall-clock measurement of a callable, for
+  users modeling their own kernels on the host machine.
+* :class:`FixedRuntime` — an explicit constant (e.g. a published
+  number).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+
+class RuntimeProvider(ABC):
+    """Produces the execution time ``T`` (seconds) for a kernel run."""
+
+    @abstractmethod
+    def seconds(self) -> float:
+        """The execution-time estimate."""
+
+
+@dataclass(frozen=True, slots=True)
+class FixedRuntime(RuntimeProvider):
+    """A constant, externally supplied execution time."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"execution time must be >= 0, got {self.value}")
+
+    def seconds(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class RooflineRuntime(RuntimeProvider):
+    """Roofline model: compute- or bandwidth-bound, whichever is slower.
+
+    Attributes
+    ----------
+    flops:
+        Total floating-point operations of the kernel.
+    bytes_moved:
+        Total bytes exchanged with main memory.
+    flops_rate:
+        Peak flop/s of the machine.
+    bandwidth:
+        Main-memory bandwidth in bytes/s.
+    """
+
+    flops: float
+    bytes_moved: float
+    flops_rate: float = 2.0e9
+    bandwidth: float = 12.8e9
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_moved < 0:
+            raise ValueError("flops and bytes_moved must be non-negative")
+        if self.flops_rate <= 0 or self.bandwidth <= 0:
+            raise ValueError("flops_rate and bandwidth must be positive")
+
+    def seconds(self) -> float:
+        return max(self.flops / self.flops_rate, self.bytes_moved / self.bandwidth)
+
+
+class MeasuredRuntime(RuntimeProvider):
+    """Wall-clock measurement of a callable (best of ``repeats`` runs)."""
+
+    def __init__(self, fn: Callable[[], object], repeats: int = 1):
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self._fn = fn
+        self._repeats = repeats
+        self._cached: float | None = None
+
+    def seconds(self) -> float:
+        if self._cached is None:
+            best = float("inf")
+            for _ in range(self._repeats):
+                start = time.perf_counter()
+                self._fn()
+                best = min(best, time.perf_counter() - start)
+            self._cached = best
+        return self._cached

@@ -1,0 +1,93 @@
+"""Model-vs-simulator validation harness (paper §IV-A, Figure 4).
+
+For each kernel and cache configuration this compares the CGPMAC
+analytical estimate of main-memory accesses against the number the LRU
+cache simulator reports for the instrumented kernel's actual reference
+trace, per data structure — and times both paths, quantifying the
+paper's "evaluation cost at the time granularity of seconds" claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cachesim.configs import CacheGeometry
+from repro.cachesim.simulator import simulate_trace
+from repro.kernels.base import Kernel, Workload
+
+
+@dataclass(frozen=True)
+class StructureValidation:
+    """Model vs simulator for one data structure."""
+
+    structure: str
+    simulated: float
+    estimated: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|estimated - simulated| / simulated`` (0 when both are 0)."""
+        if self.simulated == 0:
+            return 0.0 if self.estimated == 0 else float("inf")
+        return abs(self.estimated - self.simulated) / self.simulated
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Full validation of one kernel on one cache configuration."""
+
+    kernel: str
+    workload: str
+    cache: str
+    structures: tuple[StructureValidation, ...]
+    model_seconds: float
+    simulation_seconds: float
+
+    @property
+    def max_relative_error(self) -> float:
+        return max((s.relative_error for s in self.structures), default=0.0)
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the analytical model is than simulation."""
+        if self.model_seconds == 0:
+            return float("inf")
+        return self.simulation_seconds / self.model_seconds
+
+    def structure(self, name: str) -> StructureValidation:
+        for s in self.structures:
+            if s.structure == name:
+                return s
+        raise KeyError(f"no structure {name!r} in validation result")
+
+
+def validate_kernel(
+    kernel: Kernel, workload: Workload, geometry: CacheGeometry
+) -> ValidationResult:
+    """Run both evaluation paths and compare per data structure."""
+    start = time.perf_counter()
+    estimated = kernel.estimate_nha(workload, geometry)
+    model_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    trace = kernel.trace(workload)
+    stats = simulate_trace(trace, geometry)
+    simulation_seconds = time.perf_counter() - start
+
+    rows = tuple(
+        StructureValidation(
+            structure=name,
+            simulated=float(stats.misses(name)),
+            estimated=float(estimate),
+        )
+        for name, estimate in estimated.items()
+    )
+    return ValidationResult(
+        kernel=kernel.name,
+        workload=workload.name,
+        cache=geometry.name or "cache",
+        structures=rows,
+        model_seconds=model_seconds,
+        simulation_seconds=simulation_seconds,
+    )

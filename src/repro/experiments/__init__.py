@@ -1,0 +1,30 @@
+"""Per-figure/table regeneration drivers (paper §IV-V).
+
+Each module reproduces one evaluation artifact:
+
+==========================  ===========================================
+:mod:`...configs`            Tables IV-VII as data
+:mod:`...tables`             Table I/II/III/IV/V/VI/VII text renderers
+:mod:`...fig4_verification`  Fig. 4: model vs cache-simulator N_ha
+:mod:`...fig5_profiling`     Fig. 5: per-structure DVF across caches
+:mod:`...fig6_cg_pcg`        Fig. 6: CG vs PCG DVF over problem size
+:mod:`...fig7_ecc`           Fig. 7: DVF vs ECC performance degradation
+==========================  ===========================================
+
+``python -m repro.experiments <fig4|fig5|fig6|fig7|tables|all>``
+regenerates everything as text series (see :mod:`repro.experiments.runner`).
+"""
+
+from repro.experiments.fig4_verification import Fig4Row, run_fig4
+from repro.experiments.fig5_profiling import Fig5Cell, run_fig5
+from repro.experiments.fig6_cg_pcg import run_fig6
+from repro.experiments.fig7_ecc import run_fig7
+
+__all__ = [
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "Fig4Row",
+    "Fig5Cell",
+]

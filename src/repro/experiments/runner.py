@@ -1,0 +1,119 @@
+"""Command-line entry point regenerating the paper's evaluation.
+
+Usage::
+
+    python -m repro.experiments fig4           # model verification
+    python -m repro.experiments fig5           # DVF profiling
+    python -m repro.experiments fig6           # CG vs PCG
+    python -m repro.experiments fig7           # ECC trade-off
+    python -m repro.experiments tables         # Tables I-VII
+    python -m repro.experiments all
+    python -m repro.experiments fig4 --tier test   # fast, reduced sizes
+
+(also installed as the ``dvf-experiments`` console script.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _fig4(args) -> str:
+    from repro.experiments.fig4_verification import render_fig4, run_fig4
+
+    return render_fig4(run_fig4(tier=args.tier))
+
+
+def _fig5(args) -> str:
+    from repro.experiments.fig5_profiling import render_fig5, run_fig5
+
+    tier = args.tier if args.tier != "verification" else "profiling"
+    return render_fig5(run_fig5(tier=tier))
+
+
+def _fig6(args) -> str:
+    from repro.experiments.configs import FIG6_SIZES
+    from repro.experiments.fig6_cg_pcg import render_fig6, run_fig6
+
+    sizes = FIG6_SIZES if args.tier != "test" else (100, 200, 300, 400)
+    return render_fig6(run_fig6(sizes=sizes))
+
+
+def _fig7(args) -> str:
+    from repro.experiments.fig7_ecc import render_fig7, run_fig7
+
+    tier = "profiling" if args.tier == "verification" else args.tier
+    return render_fig7(run_fig7(tier=tier))
+
+
+def _fi(args) -> str:
+    from repro.experiments.fi_comparison import (
+        render_fi_comparison,
+        run_fi_comparison,
+    )
+
+    trials = 200 if args.tier != "test" else 100
+    return render_fi_comparison(run_fi_comparison(tier="test", trials=trials))
+
+
+def _sensitivity(args) -> str:
+    from repro.experiments.sensitivity import (
+        geometry_sensitivity,
+        render_sensitivity,
+        weighting_sensitivity,
+    )
+
+    return render_sensitivity(
+        weighting_sensitivity(tier="test"), geometry_sensitivity(tier="test")
+    )
+
+
+def _tables(args) -> str:
+    from repro.experiments.tables import render_all_tables
+
+    return render_all_tables()
+
+
+_COMMANDS = {
+    "fi": _fi,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "sensitivity": _sensitivity,
+    "tables": _tables,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dvf-experiments",
+        description="Regenerate the DVF paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--tier",
+        choices=("verification", "profiling", "test"),
+        default="verification",
+        help="workload tier (default: the paper's own sizes; "
+        "'test' runs a fast reduced sweep)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        output = _COMMANDS[name](args)
+        elapsed = time.perf_counter() - start
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Text renderers for the paper's tables (I-VII)."""
+
+from __future__ import annotations
+
+from repro.cachesim.configs import PAPER_CACHES
+from repro.core.fit import ECC_SCHEMES
+from repro.core.report import format_table
+from repro.experiments.configs import KERNEL_ORDER, WORKLOADS
+from repro.kernels.registry import KERNELS
+
+#: Table I notation, straight from core.dvf's definitions.
+TABLE_I = {
+    "DVF_d": "DVF for a specific data structure",
+    "FIT": "failure rate (failures per billion hours per Mbit)",
+    "T": "application execution time",
+    "S_d": "size of data structure",
+    "N_error": "errors that could strike the structure during the run",
+    "N_ha": "number of accesses to hardware (main memory)",
+    "n": "number of major data structures in an application",
+    "DVF_a": "DVF for the application",
+}
+
+#: Table III notation, from cachesim/patterns.
+TABLE_III = {
+    "Cc": "cache capacity",
+    "CA": "cache associativity",
+    "NA": "number of cache sets",
+    "CL": "cache line length",
+    "D": "data structure size",
+    "N": "number of elements in a data structure",
+    "E": "size of a single element",
+}
+
+
+def render_table1() -> str:
+    return "Table I — resiliency-modeling notation\n" + format_table(
+        ["symbol", "meaning"], sorted(TABLE_I.items())
+    )
+
+
+def render_table2() -> str:
+    """Table II: the six kernels, their structures and patterns."""
+    rows = []
+    for name in KERNEL_ORDER:
+        kernel = KERNELS[name]
+        workload = WORKLOADS["test"][name]
+        structures = ", ".join(kernel.data_structures(workload))
+        model = kernel.access_model(workload)
+        if hasattr(model, "patterns"):
+            patterns = "composite(" + ", ".join(
+                f"{k}:{p.name}" for k, p in model.patterns.items()
+            ) + ")"
+        else:
+            patterns = ", ".join(
+                f"{k}:{p.name}" for k, p in model.items()
+            )
+        rows.append((name, kernel.method_class, structures, patterns))
+    return "Table II — numerical kernels\n" + format_table(
+        ["kernel", "method class", "major structures", "patterns"], rows
+    )
+
+
+def render_table3() -> str:
+    return "Table III — cache/data-structure notation\n" + format_table(
+        ["symbol", "meaning"], sorted(TABLE_III.items())
+    )
+
+
+def render_table4() -> str:
+    rows = [
+        (
+            name,
+            geo.associativity,
+            geo.num_sets,
+            f"{geo.line_size} B",
+            f"{geo.capacity} B",
+        )
+        for name, geo in PAPER_CACHES.items()
+    ]
+    return "Table IV — cache configurations (CA, NA, CL verbatim)\n" + (
+        format_table(["name", "CA", "NA", "CL", "Cc = CA*NA*CL"], rows)
+    )
+
+
+def _render_workloads(tier: str, title: str) -> str:
+    rows = []
+    for name in KERNEL_ORDER:
+        workload = WORKLOADS[tier][name]
+        params = ", ".join(f"{k}={v}" for k, v in sorted(workload.params.items()))
+        rows.append((name, params))
+    return title + "\n" + format_table(["kernel", "input"], rows)
+
+
+def render_table5() -> str:
+    return _render_workloads("verification", "Table V — verification inputs")
+
+
+def render_table6() -> str:
+    return _render_workloads("profiling", "Table VI — profiling inputs")
+
+
+def render_table7() -> str:
+    rows = [
+        (scheme.name, f"{scheme.fit} FIT/Mbit")
+        for scheme in ECC_SCHEMES.values()
+    ]
+    return "Table VII — error rate with ECC in place\n" + format_table(
+        ["ECC protection", "error rate"], rows
+    )
+
+
+def render_all_tables() -> str:
+    return "\n\n".join(
+        fn()
+        for fn in (
+            render_table1,
+            render_table2,
+            render_table3,
+            render_table4,
+            render_table5,
+            render_table6,
+            render_table7,
+        )
+    )

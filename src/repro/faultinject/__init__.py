@@ -1,0 +1,46 @@
+"""Statistical fault injection — the baseline methodology (paper §I/§VI).
+
+The paper motivates DVF by contrast with statistical fault injection:
+FI needs a large number of randomized trials for statistical
+significance, is expensive, and yields no quantitative per-structure
+comparison.  This subpackage implements that baseline so the claims can
+be tested rather than assumed:
+
+* :mod:`repro.faultinject.flips` — bit-flip primitives on numpy data;
+* :mod:`repro.faultinject.targets` — injectable adapters for the paper
+  kernels (inject into a chosen data structure at a chosen execution
+  phase, observe the output);
+* :mod:`repro.faultinject.outcomes` — outcome classification
+  (benign / silent data corruption / crash);
+* :mod:`repro.faultinject.campaign` — randomized campaigns with
+  per-structure statistics and confidence intervals;
+* :mod:`repro.faultinject.compare` — rank agreement between DVF and
+  empirical vulnerability.
+"""
+
+from repro.faultinject.flips import flip_bit, random_flip
+from repro.faultinject.outcomes import Outcome, classify_outcome
+from repro.faultinject.targets import INJECTABLE_KERNELS, InjectionTarget
+from repro.faultinject.campaign import (
+    CampaignResult,
+    StructureStats,
+    run_campaign,
+)
+from repro.faultinject.compare import (
+    empirical_vulnerability,
+    rank_agreement,
+)
+
+__all__ = [
+    "flip_bit",
+    "random_flip",
+    "Outcome",
+    "classify_outcome",
+    "InjectionTarget",
+    "INJECTABLE_KERNELS",
+    "run_campaign",
+    "CampaignResult",
+    "StructureStats",
+    "empirical_vulnerability",
+    "rank_agreement",
+]

@@ -1,0 +1,45 @@
+"""Bit-flip primitives for fault injection into numpy arrays.
+
+Soft errors in DRAM manifest as flipped bits in stored words; these
+helpers flip a chosen (or random) bit of a chosen (or random) element
+in place, for float64, complex128 and integer arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def flip_bit(array: np.ndarray, index: int, bit: int) -> None:
+    """Flip one bit of element ``index`` in place.
+
+    ``bit`` counts from 0 (LSB) within the element's raw byte storage;
+    for complex elements the flip may land in either component.
+    """
+    flat = array.reshape(-1)
+    if not 0 <= index < flat.size:
+        raise IndexError(
+            f"element {index} out of range for array of {flat.size}"
+        )
+    itemsize = array.dtype.itemsize
+    if not 0 <= bit < itemsize * 8:
+        raise ValueError(
+            f"bit {bit} out of range for {itemsize * 8}-bit elements"
+        )
+    raw = flat.view(np.uint8).reshape(flat.size, itemsize)
+    raw[index, bit // 8] ^= np.uint8(1 << (bit % 8))
+
+
+def random_flip(
+    array: np.ndarray, rng: np.random.Generator
+) -> tuple[int, int]:
+    """Flip a uniformly random bit of a uniformly random element.
+
+    Returns ``(element_index, bit)`` for logging.  Uniform bit choice
+    matches the DRAM soft-error model (any stored bit equally likely).
+    """
+    flat = array.reshape(-1)
+    index = int(rng.integers(0, flat.size))
+    bit = int(rng.integers(0, array.dtype.itemsize * 8))
+    flip_bit(array, index, bit)
+    return index, bit

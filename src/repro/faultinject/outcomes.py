@@ -1,0 +1,59 @@
+"""Outcome classification for fault-injection trials.
+
+The standard taxonomy of the fault-injection literature (e.g. Li et al.
+SC'12, which the paper extends):
+
+* **benign** — the output matches the fault-free reference within
+  tolerance (the fault was masked, overwritten, or numerically damped);
+* **SDC** — silent data corruption: the run completes but the output is
+  wrong;
+* **crash** — the run raises, diverges, or produces non-finite output.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class Outcome(Enum):
+    """Result of one fault-injection trial."""
+
+    BENIGN = "benign"
+    SDC = "sdc"
+    CRASH = "crash"
+
+    @property
+    def is_failure(self) -> bool:
+        """Whether the outcome counts as a visible failure (SDC or crash)."""
+        return self is not Outcome.BENIGN
+
+
+def classify_outcome(
+    result, reference, tolerance: float = 1e-6
+) -> Outcome:
+    """Classify a trial against the fault-free reference output.
+
+    ``result`` may be None (the adapter caught an exception), a scalar
+    or an array; non-finite values classify as crash, relative error
+    above ``tolerance`` as SDC, the rest benign.
+    """
+    if result is None:
+        return Outcome.CRASH
+    result = np.asarray(result, dtype=np.complex128)
+    reference = np.asarray(reference, dtype=np.complex128)
+    if result.shape != reference.shape:
+        return Outcome.CRASH
+    if not np.all(np.isfinite(result.view(np.float64))):
+        return Outcome.CRASH
+    with np.errstate(all="ignore"):
+        # Corrupted outputs can overflow the norm; an overflowed error
+        # is simply a (very large) SDC.
+        scale = float(np.linalg.norm(reference.reshape(-1)))
+        if scale == 0.0:
+            scale = 1.0
+        delta = float(np.linalg.norm((result - reference).reshape(-1)))
+    if not np.isfinite(delta):
+        return Outcome.SDC
+    return Outcome.SDC if delta / scale > tolerance else Outcome.BENIGN

@@ -1,0 +1,172 @@
+"""Injectable adapters for the paper kernels.
+
+Each adapter runs a kernel's computation with an optional single bit
+flip injected into a chosen data structure at a chosen *phase* of the
+execution (0.0 = before the computation, 0.5 = halfway, ...), returning
+the output the fault-free reference is compared against.
+
+The adapters re-implement the kernels' numerics in phase-splittable
+form (pure numpy, no tracing) — fault injection needs thousands of
+runs, so they are kept as fast as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.faultinject.flips import random_flip
+from repro.kernels.base import Workload
+from repro.kernels.conjugate_gradient import build_system
+from repro.kernels.monte_carlo import _config as mc_config
+
+
+@dataclass(frozen=True)
+class InjectionTarget:
+    """One injectable kernel.
+
+    Attributes
+    ----------
+    kernel_name:
+        Table II short name.
+    structures:
+        Injectable data-structure labels.
+    run:
+        ``run(workload, inject_into, phase, rng) -> output`` — with
+        ``inject_into=None`` this is the fault-free reference run.
+        Adapters let numerical exceptions propagate; the campaign
+        classifies them as crashes.
+    """
+
+    kernel_name: str
+    structures: tuple[str, ...]
+    run: Callable[[Workload, str | None, float, np.random.Generator], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# VM
+# ----------------------------------------------------------------------
+def _run_vm(workload, inject_into, phase, rng):
+    n = int(workload["n"])
+    sa = int(workload.get("stride_a", 4))
+    sb = int(workload.get("stride_b", 1))
+    data_rng = np.random.default_rng(int(workload.get("seed", 0)))
+    a = data_rng.random(n * sa)
+    b = data_rng.random(n * sb)
+    c = np.zeros(n)
+    arrays = {"A": a, "B": b, "C": c}
+    split = int(phase * n)
+    c[:split] += a[: split * sa : sa] * b[: split * sb : sb]
+    if inject_into is not None:
+        random_flip(arrays[inject_into], rng)
+    c[split:] += a[split * sa :: sa] * b[split * sb :: sb]
+    return c
+
+
+# ----------------------------------------------------------------------
+# CG
+# ----------------------------------------------------------------------
+def _run_cg(workload, inject_into, phase, rng):
+    n = int(workload["n"])
+    iterations = int(workload.get("iterations", 10))
+    a, b = build_system(
+        n,
+        str(workload.get("system", "laplacian2d")),
+        seed=int(workload.get("seed", 0)),
+    )
+    dim = a.shape[0]
+    x = np.zeros(dim)
+    r = b.copy()
+    p = r.copy()
+    rz = float(r @ r)
+    arrays = {"A": a, "x": x, "p": p, "r": r}
+    inject_at = min(int(phase * iterations), iterations - 1)
+    for k in range(iterations):
+        if inject_into is not None and k == inject_at:
+            random_flip(arrays[inject_into], rng)
+        ap = a @ p
+        denominator = float(p @ ap)
+        alpha = rz / denominator
+        x += alpha * p
+        r -= alpha * ap
+        rz_next = float(r @ r)
+        beta = rz_next / rz
+        p *= beta
+        p += r
+        rz = rz_next
+    return x
+
+
+# ----------------------------------------------------------------------
+# FT (stage-splittable iterative FFT)
+# ----------------------------------------------------------------------
+def _fft_stage(x: np.ndarray, half: int) -> np.ndarray:
+    n = len(x)
+    blocks = x.reshape(n // (2 * half), 2, half)
+    twiddle = np.exp(-2j * np.pi * np.arange(half) / (2 * half))
+    top = blocks[:, 0, :].copy()
+    bottom = blocks[:, 1, :] * twiddle
+    blocks[:, 0, :] = top + bottom
+    blocks[:, 1, :] = top - bottom
+    return x
+
+
+def _bit_reverse(x: np.ndarray) -> np.ndarray:
+    n = len(x)
+    bits = int(np.log2(n))
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        reversed_indices |= ((indices >> b) & 1) << (bits - 1 - b)
+    return x[reversed_indices]
+
+
+def _run_ft(workload, inject_into, phase, rng):
+    from repro.kernels.fft import _length
+
+    n = _length(workload)
+    data_rng = np.random.default_rng(int(workload.get("seed", 0)))
+    x = data_rng.random(n) + 1j * data_rng.random(n)
+    x = _bit_reverse(x)
+    stages = int(np.log2(n))
+    inject_at = min(int(phase * stages), stages - 1)
+    for s in range(stages):
+        if inject_into == "X" and s == inject_at:
+            random_flip(x, rng)
+        x = _fft_stage(x, 1 << s)
+    return x
+
+
+# ----------------------------------------------------------------------
+# MC
+# ----------------------------------------------------------------------
+def _run_mc(workload, inject_into, phase, rng):
+    grid, nuclides, lookups = mc_config(workload)
+    data_rng = np.random.default_rng(int(workload.get("seed", 0)))
+    energies = np.sort(data_rng.random(grid))
+    xs = data_rng.random((grid, nuclides))
+    samples = data_rng.random(lookups)
+    arrays = {"G": energies, "E": xs}
+    split = min(int(phase * lookups), lookups - 1)
+
+    def lookup(batch: np.ndarray) -> float:
+        rows = np.searchsorted(energies, batch)
+        rows = np.minimum(rows, grid - 1)
+        return float(xs[rows].sum())
+
+    total = lookup(samples[:split])
+    if inject_into is not None:
+        random_flip(arrays[inject_into], rng)
+    total += lookup(samples[split:])
+    return np.asarray([total])
+
+
+#: Injectable kernels keyed by Table II name.
+INJECTABLE_KERNELS: dict[str, InjectionTarget] = {
+    "VM": InjectionTarget("VM", ("A", "B", "C"), _run_vm),
+    "CG": InjectionTarget("CG", ("A", "x", "p", "r"), _run_cg),
+    "FT": InjectionTarget("FT", ("X",), _run_ft),
+    "MC": InjectionTarget("MC", ("G", "E"), _run_mc),
+}

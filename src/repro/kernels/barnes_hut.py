@@ -1,0 +1,314 @@
+"""Barnes-Hut N-body simulation — random access pattern (paper Algorithm 2).
+
+Bodies are organised into a quadtree ``T``; computing the net force on a
+body walks the tree, descending only where the opening criterion
+``size/dist >= theta`` demands.  Which nodes a walk visits depends on
+the (random) particle distribution, so accesses to ``T`` are the paper's
+canonical *random* pattern; the per-walk visit count ``k`` is measured
+by profiling, exactly as the paper obtains its Aspen parameters.
+
+Major data structures (Table II): the tree ``T`` (32-byte nodes) and the
+particle array ``P`` (32-byte records: x, y, mass, padding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.base import Kernel, ResourceCounts, Workload
+from repro.patterns.random_access import WorkingSetRandomAccess
+from repro.patterns.streaming import StreamingAccess
+from repro.trace.recorder import TraceRecorder
+
+_NODE_SIZE = 32
+_PARTICLE_SIZE = 32
+
+
+@dataclass
+class _Node:
+    """One quadtree node (an internal cell or a leaf holding a body)."""
+
+    index: int
+    cx: float
+    cy: float
+    half: float
+    body: int | None = None
+    children: list["_Node | None"] = field(default_factory=lambda: [None] * 4)
+    mass: float = 0.0
+    comx: float = 0.0
+    comy: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return all(c is None for c in self.children)
+
+
+class _QuadTree:
+    """A Barnes-Hut quadtree over the unit square."""
+
+    def __init__(self) -> None:
+        self.nodes: list[_Node] = []
+        self.root = self._new_node(0.5, 0.5, 0.5)
+
+    def _new_node(self, cx: float, cy: float, half: float) -> _Node:
+        node = _Node(index=len(self.nodes), cx=cx, cy=cy, half=half)
+        self.nodes.append(node)
+        return node
+
+    def _quadrant(self, node: _Node, x: float, y: float) -> int:
+        return (1 if x >= node.cx else 0) | (2 if y >= node.cy else 0)
+
+    def _child(self, node: _Node, q: int) -> _Node:
+        child = node.children[q]
+        if child is None:
+            h = node.half / 2
+            cx = node.cx + (h if q & 1 else -h)
+            cy = node.cy + (h if q & 2 else -h)
+            child = self._new_node(cx, cy, h)
+            node.children[q] = child
+        return child
+
+    def insert(self, body: int, x: float, y: float) -> None:
+        node = self.root
+        depth = 0
+        while True:
+            if node.is_leaf and node.body is None and node is not self.root:
+                node.body = body
+                return
+            if node.is_leaf and node.body is not None:
+                # Split: push the resident body down one level.
+                resident = node.body
+                node.body = None
+                # Re-insert below (positions read from the caller's table).
+                rx, ry = self._positions[resident]
+                q = self._quadrant(node, rx, ry)
+                child = self._child(node, q)
+                child.body = resident
+            q = self._quadrant(node, x, y)
+            node = self._child(node, q)
+            depth += 1
+            if depth > 64:  # pathological duplicates: keep both in one leaf
+                node.body = body
+                return
+
+    def build(self, positions: np.ndarray, masses: np.ndarray) -> None:
+        self._positions = positions
+        for body in range(len(positions)):
+            self.insert(body, positions[body, 0], positions[body, 1])
+        self._summarise(self.root, positions, masses)
+
+    def _summarise(self, node: _Node, positions, masses) -> float:
+        if node.is_leaf:
+            if node.body is not None:
+                node.mass = float(masses[node.body])
+                node.comx = float(positions[node.body, 0])
+                node.comy = float(positions[node.body, 1])
+            return node.mass
+        total = 0.0
+        mx = my = 0.0
+        for child in node.children:
+            if child is None:
+                continue
+            m = self._summarise(child, positions, masses)
+            total += m
+            mx += child.comx * m
+            my += child.comy * m
+        node.mass = total
+        if total > 0:
+            node.comx = mx / total
+            node.comy = my / total
+        return total
+
+
+class BarnesHutKernel(Kernel):
+    """2-D Barnes-Hut force calculation (paper Algorithm 2).
+
+    Workload parameters
+    -------------------
+    n:
+        Number of particles.
+    theta:
+        Opening criterion (default 0.5).
+    seed:
+        RNG seed for particle placement.
+    """
+
+    name = "NB"
+    method_class = "N-body method"
+
+    def _build(self, workload: Workload) -> tuple[_QuadTree, np.ndarray, np.ndarray]:
+        n = int(workload["n"])
+        rng = np.random.default_rng(int(workload.get("seed", 0)))
+        positions = rng.random((n, 2))
+        masses = rng.random(n) + 0.1
+        tree = _QuadTree()
+        tree.build(positions, masses)
+        return tree, positions, masses
+
+    def tree_size(self, workload: Workload) -> int:
+        """Number of quadtree nodes for this workload (deterministic)."""
+        tree, _, _ = self._build(workload)
+        return len(tree.nodes)
+
+    def data_structures(self, workload: Workload) -> dict[str, tuple[int, int]]:
+        n = int(workload["n"])
+        return {
+            "T": (self.tree_size(workload), _NODE_SIZE),
+            "P": (n, _PARTICLE_SIZE),
+        }
+
+    # ------------------------------------------------------------------
+    def _force_walk(
+        self,
+        tree: _QuadTree,
+        positions: np.ndarray,
+        body: int,
+        theta: float,
+        visit,
+    ) -> tuple[float, float]:
+        """Force on one body; ``visit(node_index)`` is called per node read."""
+        x, y = positions[body]
+        fx = fy = 0.0
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            visit(node.index)
+            if node.mass == 0.0:
+                continue
+            dx = node.comx - x
+            dy = node.comy - y
+            dist2 = dx * dx + dy * dy + 1e-9
+            if node.is_leaf or (2 * node.half) ** 2 < theta * theta * dist2:
+                if node.is_leaf and node.body == body:
+                    continue
+                inv = node.mass / (dist2 * np.sqrt(dist2))
+                fx += dx * inv
+                fy += dy * inv
+            else:
+                for child in node.children:
+                    if child is not None:
+                        stack.append(child)
+        return fx, fy
+
+    def run_traced(self, workload: Workload, recorder: TraceRecorder) -> np.ndarray:
+        tree, positions, masses = self._build(workload)
+        n = len(positions)
+        theta = float(workload.get("theta", 0.5))
+        recorder.allocate("T", len(tree.nodes), _NODE_SIZE)
+        recorder.allocate("P", n, _PARTICLE_SIZE)
+        # Construction phase: every node/particle touched once (the
+        # random model's assumed initial traversal).
+        recorder.record_elements(
+            "T", np.arange(len(tree.nodes), dtype=np.int64), True
+        )
+        recorder.record_elements("P", np.arange(n, dtype=np.int64), True)
+        forces = np.zeros((n, 2))
+        visited: list[int] = []
+        for body in range(n):
+            recorder.record_element("P", body, False)
+            visits: list[int] = []
+            fx, fy = self._force_walk(tree, positions, body, theta, visits.append)
+            recorder.record_elements("T", np.asarray(visits, dtype=np.int64), False)
+            forces[body] = (fx, fy)
+            visited.append(len(visits))
+        return forces
+
+    # ------------------------------------------------------------------
+    def profile_k(self, workload: Workload) -> float:
+        """Average *distinct* tree nodes visited per force walk.
+
+        The paper obtains ``k`` "by profiling [the] application on any
+        available hardware"; this is that profiling run.
+        """
+        return float(self.profile_frequencies(workload).sum())
+
+    def profile_frequencies(self, workload: Workload) -> np.ndarray:
+        """Per-node visit frequency over all force walks.
+
+        Entry ``i`` is the fraction of walks that touch tree node ``i`` —
+        the profiling input of the working-set random model (walks share
+        the upper tree levels, so the distribution is heavily skewed).
+        Results are memoised per workload configuration.
+        """
+        key = (
+            int(workload["n"]),
+            float(workload.get("theta", 0.5)),
+            int(workload.get("seed", 0)),
+        )
+        cached = self._freq_cache.get(key)
+        if cached is not None:
+            return cached
+        tree, positions, _ = self._build(workload)
+        theta = float(workload.get("theta", 0.5))
+        n = len(positions)
+        counts = np.zeros(len(tree.nodes), dtype=np.int64)
+        for body in range(n):
+            visits: set[int] = set()
+            self._force_walk(tree, positions, body, theta, visits.add)
+            counts[list(visits)] += 1
+        freqs = counts / n
+        self._freq_cache[key] = freqs
+        return freqs
+
+    _freq_cache: dict = {}
+
+    def access_model(self, workload: Workload):
+        n = int(workload["n"])
+        freqs = self.profile_frequencies(workload)
+        tree_nodes = len(freqs)
+        return {
+            "T": WorkingSetRandomAccess(
+                num_elements=tree_nodes,
+                element_size=_NODE_SIZE,
+                visit_frequencies=freqs,
+                iterations=n,
+                cache_ratio=1.0,
+            ),
+            # Particles are swept once per force phase on top of the
+            # construction traversal; the tree walk between consecutive
+            # particle reads interferes with the re-sweep.
+            "P": StreamingAccess(
+                _PARTICLE_SIZE,
+                n,
+                1,
+                sweeps=2,
+                aligned=True,
+                interfering_bytes=tree_nodes * _NODE_SIZE,
+            ),
+        }
+
+    def resource_counts(self, workload: Workload) -> ResourceCounts:
+        n = int(workload["n"])
+        k = float(workload.get("k") or self.profile_k(workload))
+        flops = 12.0 * k * n        # ~12 flops per node interaction
+        loads = (_NODE_SIZE * k + _PARTICLE_SIZE) * n
+        stores = _PARTICLE_SIZE * 1.0 * n
+        return ResourceCounts(flops=flops, loads=loads, stores=stores)
+
+    def aspen_source(self, workload: Workload) -> str:
+        n = int(workload["n"])
+        tree_nodes = self.tree_size(workload)
+        k = float(workload.get("k") or self.profile_k(workload))
+        return f"""\
+// Barnes-Hut force phase (paper Algorithm 2): random tree accesses.
+model nb {{
+  param particles = {n}
+  param nodes = {tree_nodes}
+  param k = {k:.3f}
+  data T {{
+    elements: nodes, element_size: {_NODE_SIZE}
+    pattern random {{ distinct: k, iterations: particles, cache_ratio: 1.0 }}
+  }}
+  data P {{
+    elements: particles, element_size: {_PARTICLE_SIZE}
+    pattern streaming {{ sweeps: 2, aligned: 1 }}
+  }}
+  kernel force {{
+    flops: 12 * k * particles
+    loads: ({_NODE_SIZE} * k + {_PARTICLE_SIZE}) * particles
+    stores: {_PARTICLE_SIZE} * particles
+  }}
+}}
+"""

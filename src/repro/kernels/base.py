@@ -1,0 +1,148 @@
+"""Kernel abstractions.
+
+Each paper kernel (Table II) is implemented twice, deliberately:
+
+1. an *instrumented execution* — the actual numerical algorithm in
+   Python, recording every major-data-structure memory reference through
+   :class:`~repro.trace.TraceRecorder` (the Pin substitute).  This is the
+   ground truth the cache simulator consumes for Figure 4.
+2. an *analytical model* — CGPMAC pattern objects (and an Aspen DSL
+   source string) describing the same accesses, evaluated in
+   microseconds.  This is what DVF profiling uses.
+
+Keeping both behind one :class:`Kernel` interface lets the validation
+harness compare them mechanically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.cachesim.configs import CacheGeometry
+from repro.patterns.base import AccessPattern
+from repro.trace.recorder import TraceRecorder
+from repro.trace.reference import ReferenceTrace
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named parameter set for a kernel (paper Tables V and VI)."""
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self.params[key]
+        except KeyError:
+            raise KeyError(
+                f"workload {self.name!r} has no parameter {key!r}; "
+                f"has {sorted(self.params)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ResourceCounts:
+    """Roofline inputs for one kernel run."""
+
+    flops: float
+    loads: float
+    stores: float
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.loads + self.stores
+
+
+class Kernel(ABC):
+    """One of the paper's numerical kernels (Table II)."""
+
+    #: Short name as in Table II ("VM", "CG", ...).
+    name: str = "?"
+    #: Computational-method class from Table II.
+    method_class: str = "?"
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def data_structures(self, workload: Workload) -> dict[str, tuple[int, int]]:
+        """Major data structures: ``{label: (num_elements, element_size)}``."""
+
+    def data_sizes(self, workload: Workload) -> dict[str, int]:
+        """Footprint in bytes per major data structure."""
+        return {
+            label: n * e
+            for label, (n, e) in self.data_structures(workload).items()
+        }
+
+    def working_set_bytes(self, workload: Workload) -> int:
+        """Total footprint of the major data structures."""
+        return sum(self.data_sizes(workload).values())
+
+    # ------------------------------------------------------------------
+    # instrumented execution (the Pin substitute)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def run_traced(self, workload: Workload, recorder: TraceRecorder) -> Any:
+        """Run the kernel, recording references; returns the numeric result."""
+
+    def trace(self, workload: Workload) -> ReferenceTrace:
+        """Convenience: run instrumented and return the finished trace."""
+        recorder = TraceRecorder()
+        self.run_traced(workload, recorder)
+        return recorder.finish()
+
+    # ------------------------------------------------------------------
+    # analytical model (CGPMAC)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def access_model(
+        self, workload: Workload
+    ) -> Mapping[str, AccessPattern] | Any:
+        """CGPMAC patterns keyed by data-structure label.
+
+        Implementations may instead return a
+        :class:`~repro.patterns.CompositeAccessModel` when an access
+        order couples the structures.
+        """
+
+    def estimate_nha(
+        self, workload: Workload, geometry: CacheGeometry
+    ) -> dict[str, float]:
+        """Model-estimated main-memory accesses per data structure."""
+        model = self.access_model(workload)
+        if hasattr(model, "estimate_by_structure"):
+            return dict(model.estimate_by_structure(geometry))
+        return {
+            name: pattern.estimate_accesses(geometry)
+            for name, pattern in model.items()
+        }
+
+    # ------------------------------------------------------------------
+    # performance model
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def resource_counts(self, workload: Workload) -> ResourceCounts:
+        """Total flops / loads / stores for the roofline runtime model."""
+
+    # ------------------------------------------------------------------
+    # Aspen DSL form
+    # ------------------------------------------------------------------
+    def aspen_source(self, workload: Workload) -> str:
+        """The kernel expressed in the extended Aspen DSL.
+
+        Optional: kernels with data-dependent templates may not admit a
+        closed DSL form at every size and raise ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not provide an Aspen source form"
+        )
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.name} ({self.method_class})>"

@@ -1,0 +1,31 @@
+"""Kernel registry: name -> kernel instance (paper Table II)."""
+
+from __future__ import annotations
+
+from repro.kernels.barnes_hut import BarnesHutKernel
+from repro.kernels.base import Kernel
+from repro.kernels.conjugate_gradient import ConjugateGradientKernel
+from repro.kernels.fft import FFTKernel
+from repro.kernels.monte_carlo import MonteCarloKernel
+from repro.kernels.multigrid import MultigridKernel
+from repro.kernels.vector_multiply import VectorMultiplyKernel
+
+#: The six kernels of paper Table II, keyed by their short names.
+KERNELS: dict[str, Kernel] = {
+    "VM": VectorMultiplyKernel(),
+    "CG": ConjugateGradientKernel(),
+    "NB": BarnesHutKernel(),
+    "MG": MultigridKernel(),
+    "FT": FFTKernel(),
+    "MC": MonteCarloKernel(),
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by its Table II short name (case-insensitive)."""
+    try:
+        return KERNELS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None

@@ -1,0 +1,72 @@
+"""Common contract for CGPMAC access-pattern estimators."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.cachesim.configs import CacheGeometry
+
+
+class PatternError(ValueError):
+    """Raised for invalid access-pattern parameters."""
+
+
+class AccessPattern(ABC):
+    """An analytical model of how one data structure is accessed.
+
+    Subclasses estimate the number of main-memory accesses behind a
+    last-level cache described by a :class:`CacheGeometry`, following the
+    paper's §III-C.  Estimates are floats: the underlying analysis is
+    probabilistic and expected values are generally fractional.
+    """
+
+    #: Single-letter code used in Aspen access-pattern strings.
+    code: str = "?"
+    #: Human-readable pattern-family name.
+    name: str = "abstract"
+
+    @abstractmethod
+    def estimate_accesses(self, geometry: CacheGeometry) -> float:
+        """Expected number of main-memory accesses (cache-block loads)."""
+
+    @abstractmethod
+    def footprint_bytes(self) -> int:
+        """Bytes of the data structure touched by this pattern."""
+
+    def footprint_blocks(self, geometry: CacheGeometry) -> int:
+        """Cache blocks the touched footprint occupies (``ceil(D / CL)``)."""
+        return ceil_div(self.footprint_bytes(), geometry.line_size)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{k}={v!r}" for k, v in vars(self).items() if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if b <= 0:
+        raise PatternError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def alignment_probability(element_size: int, line_size: int) -> float:
+    """Probability that an element straddles one extra cache line (Eq. 3).
+
+    ``p = ((E - 1) mod CL) / CL`` — assuming each byte offset within a
+    line is equally likely to start the element.
+    """
+    if element_size < 1:
+        raise PatternError(f"element size must be >= 1, got {element_size}")
+    return ((element_size - 1) % line_size) / line_size
+
+
+def expected_accesses_per_element(element_size: int, line_size: int) -> float:
+    """Expected line loads per element reference (Eq. 4).
+
+    ``AE = floor(E/CL) + p`` where ``p`` is the misalignment probability.
+    """
+    p = alignment_probability(element_size, line_size)
+    return math.floor(element_size / line_size) + p

@@ -1,0 +1,113 @@
+"""Binary-search access pattern — a structured refinement of 'random'.
+
+Repeated binary searches over a sorted table are "random" in the
+paper's taxonomy (data-dependent visits), but their probe sequence has
+exact structure: every lookup probes one pivot per level, level ``l``
+having ``2^l`` candidate pivots each hit with probability ``2^-l``.
+Under LRU the upper levels are effectively resident; probes below the
+resident horizon miss.
+
+This pattern models that horizon directly: with a cache share of ``m``
+elements, the top ``L* = floor(log2(m + 1))`` levels fit and stay hot
+(they are re-touched every lookup), and each lookup pays roughly one
+miss per non-resident level.  It is exact in the two limits (table
+resident -> compulsory only; table huge -> all low levels miss) and
+interpolates through the middle, where the paper's uniform Eq. 5-7
+either under- or over-counts depending on the regime.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cachesim.configs import CacheGeometry
+from repro.patterns.base import AccessPattern, PatternError, ceil_div
+
+
+class BinarySearchAccess(AccessPattern):
+    """Repeated binary searches over a sorted table.
+
+    Parameters
+    ----------
+    num_elements:
+        Table length ``N``.
+    element_size:
+        Element size in bytes ``E``.
+    lookups:
+        Number of searches.
+    cache_ratio:
+        Fraction of the cache available to the table.
+    """
+
+    code = "b"
+    name = "binary-search"
+
+    def __init__(
+        self,
+        num_elements: int,
+        element_size: int,
+        lookups: int,
+        cache_ratio: float = 1.0,
+    ):
+        if num_elements < 1:
+            raise PatternError(f"num_elements must be >= 1, got {num_elements}")
+        if element_size < 1:
+            raise PatternError(f"element_size must be >= 1, got {element_size}")
+        if lookups < 0:
+            raise PatternError(f"lookups must be >= 0, got {lookups}")
+        if not 0 < cache_ratio <= 1.0:
+            raise PatternError(f"cache_ratio must be in (0, 1], got {cache_ratio}")
+        self.num_elements = num_elements
+        self.element_size = element_size
+        self.lookups = lookups
+        self.cache_ratio = cache_ratio
+
+    def footprint_bytes(self) -> int:
+        return self.num_elements * self.element_size
+
+    @property
+    def probe_levels(self) -> int:
+        """Probes per lookup: ``ceil(log2(N))`` (one pivot per level)."""
+        return max(math.ceil(math.log2(self.num_elements)), 1)
+
+    def resident_levels(self, geometry: CacheGeometry) -> int:
+        """Levels whose pivots stay resident under LRU.
+
+        Two constraints, both at cache-*line* granularity (pivots are
+        scattered through the table, so each occupies its own line):
+
+        * working set in time — a level-``l`` pivot is revisited every
+          ``2^l`` lookups on average, while each lookup streams roughly
+          ``probe_levels`` lines through the cache share; the pivot
+          survives when ``2^l * probe_levels * CL < Cc * r``;
+        * capacity — the resident pivot lines must fit the share.
+        """
+        share = geometry.capacity * self.cache_ratio
+        granule = max(self.element_size, geometry.line_size)
+        lines = share / granule
+        if lines < 1:
+            return 0
+        # Working-set criterion: 2^-l > probe_levels * granule / share.
+        threshold = self.probe_levels * granule / share
+        if threshold >= 1.0:
+            by_turnover = 0
+        else:
+            by_turnover = int(math.floor(-math.log2(threshold))) + 1
+        # Capacity: levels 0..L-1 hold 2^L - 1 pivots.
+        by_capacity = int(math.floor(math.log2(lines + 1)))
+        return max(min(by_turnover, by_capacity, self.probe_levels), 0)
+
+    def cold_probes_per_lookup(self, geometry: CacheGeometry) -> float:
+        """Expected probe misses per lookup below the resident horizon."""
+        return float(self.probe_levels - self.resident_levels(geometry))
+
+    def estimate_accesses(self, geometry: CacheGeometry) -> float:
+        """Compulsory construction pass plus per-lookup probe misses."""
+        initial = ceil_div(self.footprint_bytes(), geometry.line_size)
+        if self.footprint_bytes() <= geometry.capacity * self.cache_ratio:
+            return float(initial)
+        blocks_per_probe = max(
+            math.ceil(self.element_size / geometry.line_size), 1
+        )
+        cold = self.cold_probes_per_lookup(geometry)
+        return initial + cold * blocks_per_probe * self.lookups

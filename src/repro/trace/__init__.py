@@ -1,0 +1,34 @@
+"""Memory-reference collection — the Pin substitute.
+
+The paper uses a Pin-based tool to collect labelled memory references
+from the running kernels and feeds them to a cache simulator (§IV).  We
+replace binary instrumentation with an explicit recording layer:
+
+* :class:`AddressSpace` assigns contiguous byte ranges to named data
+  structures (a bump allocator, like a loader laying out arrays);
+* :class:`TraceRecorder` accumulates references in *columnar* numpy
+  buffers (address / size / write-flag / label-id), which keeps
+  million-reference traces cheap and lets kernels emit whole vectorised
+  access bursts at once (per the HPC guides: vectorise, avoid per-item
+  Python overhead);
+* :class:`TracedArray` wraps a numpy array so scalar-indexed kernels
+  (e.g. the Barnes-Hut tree walk) record automatically;
+* :class:`ReferenceTrace` is the immutable, query-friendly result.
+"""
+
+from repro.trace.address_space import AddressSpace, Segment
+from repro.trace.recorder import TraceRecorder
+from repro.trace.reference import MemoryReference, ReferenceTrace
+from repro.trace.traced_array import TracedArray
+from repro.trace.io import load_trace, save_trace
+
+__all__ = [
+    "AddressSpace",
+    "Segment",
+    "TraceRecorder",
+    "MemoryReference",
+    "ReferenceTrace",
+    "TracedArray",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,39 @@
+"""Trace (de)serialisation.
+
+Traces persist as ``.npz`` archives: the four columns plus the label
+table.  This keeps multi-million-reference traces compact and fast to
+reload (the paper notes cache simulation over raw traces is the
+expensive path; caching traces on disk amortises collection).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.trace.reference import ReferenceTrace
+
+
+def save_trace(trace: ReferenceTrace, path: str | os.PathLike) -> None:
+    """Write a trace to ``path`` as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        addresses=trace.addresses,
+        sizes=trace.sizes,
+        is_write=trace.is_write,
+        label_ids=trace.label_ids,
+        labels=np.asarray(trace.labels, dtype=object),
+    )
+
+
+def load_trace(path: str | os.PathLike) -> ReferenceTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=True) as archive:
+        return ReferenceTrace(
+            archive["addresses"],
+            archive["sizes"],
+            archive["is_write"],
+            archive["label_ids"],
+            [str(x) for x in archive["labels"]],
+        )

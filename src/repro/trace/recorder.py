@@ -1,0 +1,227 @@
+"""Trace recording — the instrumentation entry point for kernels.
+
+Kernels record accesses either one at a time (irregular codes, e.g. the
+Barnes-Hut tree walk) or as whole vectorised bursts (regular codes, e.g.
+a matrix row sweep).  Internally everything lands in growable chunk
+lists that are concatenated once into a columnar
+:class:`~repro.trace.reference.ReferenceTrace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.address_space import AddressSpace, Segment
+from repro.trace.reference import ReferenceTrace
+
+_CHUNK = 65536
+
+
+class _Column:
+    """A growable scalar buffer flushed into chunked numpy arrays."""
+
+    __slots__ = ("chunks", "buf", "fill", "dtype")
+
+    def __init__(self, dtype) -> None:
+        self.chunks: list[np.ndarray] = []
+        self.buf = np.empty(_CHUNK, dtype=dtype)
+        self.fill = 0
+        self.dtype = dtype
+
+    def push(self, value) -> None:
+        if self.fill == _CHUNK:
+            self.chunks.append(self.buf)
+            self.buf = np.empty(_CHUNK, dtype=self.dtype)
+            self.fill = 0
+        self.buf[self.fill] = value
+        self.fill += 1
+
+    def push_array(self, values: np.ndarray) -> None:
+        if self.fill:
+            self.chunks.append(self.buf[: self.fill].copy())
+            self.fill = 0
+        self.chunks.append(np.asarray(values, dtype=self.dtype))
+
+    def collect(self) -> np.ndarray:
+        parts = list(self.chunks)
+        if self.fill:
+            parts.append(self.buf[: self.fill].copy())
+        if not parts:
+            return np.empty(0, dtype=self.dtype)
+        return np.concatenate(parts)
+
+
+class TraceRecorder:
+    """Collects labelled memory references from an instrumented kernel.
+
+    Parameters
+    ----------
+    address_space:
+        Optional pre-built :class:`AddressSpace`; a fresh one is created
+        by default.
+
+    Example
+    -------
+    >>> rec = TraceRecorder()
+    >>> seg = rec.allocate("A", num_elements=100, element_size=8)
+    >>> rec.record_element("A", 3, is_write=False)
+    >>> trace = rec.finish()
+    >>> trace.count_for("A")
+    1
+    """
+
+    def __init__(self, address_space: AddressSpace | None = None):
+        self.address_space = address_space or AddressSpace()
+        self._addr = _Column(np.int64)
+        self._size = _Column(np.int64)
+        self._write = _Column(bool)
+        self._label = _Column(np.int32)
+        self._label_ids: dict[str, int] = {}
+        self._labels: list[str] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def allocate(self, label: str, num_elements: int, element_size: int) -> Segment:
+        """Allocate and register a data structure; see :class:`AddressSpace`."""
+        seg = self.address_space.allocate(label, num_elements, element_size)
+        self._intern(label)
+        return seg
+
+    def _intern(self, label: str) -> int:
+        lid = self._label_ids.get(label)
+        if lid is None:
+            lid = len(self._labels)
+            self._label_ids[label] = lid
+            self._labels.append(label)
+        return lid
+
+    # ------------------------------------------------------------------
+    # scalar recording
+    # ------------------------------------------------------------------
+    def record_address(
+        self, label: str, address: int, size: int, is_write: bool
+    ) -> None:
+        """Record one reference at an absolute byte address."""
+        self._addr.push(address)
+        self._size.push(size)
+        self._write.push(is_write)
+        self._label.push(self._intern(label))
+        self._count += 1
+
+    def record_element(self, label: str, index: int, is_write: bool) -> None:
+        """Record an access to element ``index`` of data structure ``label``."""
+        seg = self.address_space.segment(label)
+        self.record_address(label, seg.address_of(index), seg.element_size, is_write)
+
+    # ------------------------------------------------------------------
+    # vectorised recording
+    # ------------------------------------------------------------------
+    def record_elements(
+        self, label: str, indices: np.ndarray, is_write: bool
+    ) -> None:
+        """Record accesses to many elements of ``label`` in index order."""
+        seg = self.address_space.segment(label)
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= seg.num_elements:
+            raise IndexError(
+                f"element indices out of range for {label!r} "
+                f"(0..{seg.num_elements - 1})"
+            )
+        addresses = seg.base + idx * seg.element_size
+        n = idx.size
+        self._addr.push_array(addresses)
+        self._size.push_array(np.full(n, seg.element_size, dtype=np.int64))
+        self._write.push_array(np.full(n, is_write, dtype=bool))
+        self._label.push_array(
+            np.full(n, self._intern(label), dtype=np.int32)
+        )
+        self._count += n
+
+    def record_elements_mixed(
+        self, label: str, indices: np.ndarray, writes: np.ndarray
+    ) -> None:
+        """Record element accesses with a per-access write flag.
+
+        Used by stencil kernels whose templates interleave neighbour
+        loads with the centre store.
+        """
+        seg = self.address_space.segment(label)
+        idx = np.asarray(indices, dtype=np.int64)
+        flags = np.asarray(writes, dtype=bool)
+        if idx.size != flags.size:
+            raise ValueError("indices and writes must have equal length")
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= seg.num_elements:
+            raise IndexError(f"element indices out of range for {label!r}")
+        self._addr.push_array(seg.base + idx * seg.element_size)
+        self._size.push_array(np.full(idx.size, seg.element_size, dtype=np.int64))
+        self._write.push_array(flags)
+        self._label.push_array(np.full(idx.size, self._intern(label), dtype=np.int32))
+        self._count += idx.size
+
+    def record_stream(
+        self,
+        label: str,
+        start: int,
+        count: int,
+        stride_elements: int = 1,
+        is_write: bool = False,
+    ) -> None:
+        """Record a strided sweep: ``count`` accesses from element ``start``."""
+        indices = start + np.arange(count, dtype=np.int64) * stride_elements
+        self.record_elements(label, indices, is_write)
+
+    def record_interleaved(
+        self, parts: list[tuple[str, np.ndarray, bool]]
+    ) -> None:
+        """Record several equal-length element streams, round-robin interleaved.
+
+        This reproduces the instruction-level interleaving of loops like
+        ``for j: acc += A[i,j] * p[j]`` where ``A`` and ``p`` references
+        alternate — the ordering the cache actually sees.
+        """
+        if not parts:
+            return
+        n = len(np.asarray(parts[0][1]))
+        k = len(parts)
+        addresses = np.empty(n * k, dtype=np.int64)
+        sizes = np.empty(n * k, dtype=np.int64)
+        writes = np.empty(n * k, dtype=bool)
+        label_ids = np.empty(n * k, dtype=np.int32)
+        for slot, (label, indices, is_write) in enumerate(parts):
+            seg = self.address_space.segment(label)
+            idx = np.asarray(indices, dtype=np.int64)
+            if idx.size != n:
+                raise ValueError("all interleaved streams must have equal length")
+            if idx.size and (idx.min() < 0 or idx.max() >= seg.num_elements):
+                raise IndexError(f"element indices out of range for {label!r}")
+            addresses[slot::k] = seg.base + idx * seg.element_size
+            sizes[slot::k] = seg.element_size
+            writes[slot::k] = is_write
+            label_ids[slot::k] = self._intern(label)
+        self._addr.push_array(addresses)
+        self._size.push_array(sizes)
+        self._write.push_array(writes)
+        self._label.push_array(label_ids)
+        self._count += n * k
+
+    # ------------------------------------------------------------------
+    # finish
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def finish(self) -> ReferenceTrace:
+        """Seal the recorder into an immutable columnar trace."""
+        return ReferenceTrace(
+            self._addr.collect(),
+            self._size.collect(),
+            self._write.collect(),
+            self._label.collect(),
+            list(self._labels),
+        )

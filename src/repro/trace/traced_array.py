@@ -1,0 +1,104 @@
+"""A numpy-backed array that records its own accesses.
+
+Irregular kernels (the Barnes-Hut tree walk, Monte Carlo table lookups)
+index data element-by-element under data-dependent control flow; wrapping
+their arrays in :class:`TracedArray` instruments them without touching
+the algorithm code — the same role Pin plays for compiled binaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.recorder import TraceRecorder
+
+
+class TracedArray:
+    """A 1-D or N-D array whose element accesses are recorded.
+
+    Parameters
+    ----------
+    recorder:
+        The :class:`TraceRecorder` receiving references.
+    label:
+        Data-structure name; a segment is allocated on construction.
+    shape:
+        Array shape.
+    dtype:
+        Element dtype (its itemsize becomes the recorded element size).
+    element_size:
+        Optional logical element size overriding ``dtype.itemsize`` —
+        useful when one logical element (e.g. a 32-byte tree node) is
+        backed by several numpy values.
+
+    Only *basic* integer indexing is recorded element-wise; slices and
+    fancy indexing record every touched element in order.
+    """
+
+    def __init__(
+        self,
+        recorder: TraceRecorder,
+        label: str,
+        shape: int | tuple[int, ...],
+        dtype=np.float64,
+        element_size: int | None = None,
+        fill=None,
+    ):
+        self._recorder = recorder
+        self.label = label
+        self._data = np.zeros(shape, dtype=dtype)
+        if fill is not None:
+            self._data[...] = fill
+        itemsize = element_size or self._data.dtype.itemsize
+        recorder.allocate(label, int(self._data.size), itemsize)
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The backing numpy array (access does not record)."""
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self._data.size)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    def _flat_indices(self, key) -> np.ndarray:
+        """Flat element indices touched by an indexing expression."""
+        idx = np.arange(self._data.size, dtype=np.int64).reshape(self._data.shape)
+        touched = idx[key]
+        return np.atleast_1d(np.asarray(touched, dtype=np.int64)).ravel()
+
+    def __getitem__(self, key):
+        flat = self._flat_indices(key)
+        if flat.size == 1:
+            self._recorder.record_element(self.label, int(flat[0]), is_write=False)
+        else:
+            self._recorder.record_elements(self.label, flat, is_write=False)
+        return self._data[key]
+
+    def __setitem__(self, key, value) -> None:
+        flat = self._flat_indices(key)
+        if flat.size == 1:
+            self._recorder.record_element(self.label, int(flat[0]), is_write=True)
+        else:
+            self._recorder.record_elements(self.label, flat, is_write=True)
+        self._data[key] = value
+
+    def read_quiet(self, key):
+        """Read without recording (for result checking in tests)."""
+        return self._data[key]
+
+    def write_quiet(self, key, value) -> None:
+        """Write without recording (for un-instrumented initialisation)."""
+        self._data[key] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TracedArray({self.label!r}, shape={self._data.shape})"

@@ -1,0 +1,118 @@
+"""Round-trip tests for the Aspen pretty-printer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aspen import parse
+from repro.aspen.builtin import DSL_KERNELS, MACHINE_LIBRARY, builtin_source
+from repro.aspen.printer import format_expr, unparse
+from repro.aspen.lexer import tokenize
+from repro.aspen.parser import _Parser
+
+
+def parse_expr(text):
+    return _Parser(tokenize(text)).parse_expr()
+
+
+def strip_positions(program):
+    """Programs compare by content; positions differ after reprinting."""
+    # Simplest robust comparison: unparse both and compare text.
+    return unparse(program)
+
+
+class TestExprFormatting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a - b - c",
+            "a - (b - c)",
+            "a / b / c",
+            "2 ^ 3 ^ 2",
+            "(2 ^ 3) ^ 2",
+            "-a + b",
+            "min(a, max(b, 3))",
+            "ceil(n / 2) * 8",
+            "a % 3 + 1",
+        ],
+    )
+    def test_expr_round_trip_semantics(self, text):
+        expr = parse_expr(text)
+        reparsed = parse_expr(format_expr(expr))
+        env = {"a": 7.0, "b": 3.0, "c": 2.0, "n": 5.0}
+        assert reparsed.evaluate(env) == pytest.approx(expr.evaluate(env))
+
+    def test_integral_floats_render_as_ints(self):
+        assert format_expr(parse_expr("8")) == "8"
+
+    @given(
+        a=st.integers(-20, 20),
+        b=st.integers(1, 20),
+        c=st.integers(1, 20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_arithmetic_round_trip(self, a, b, c):
+        text = f"{a} + {b} * x - {c} / (x + {b})"
+        expr = parse_expr(text)
+        reparsed = parse_expr(format_expr(expr))
+        assert reparsed.evaluate({"x": 2.5}) == pytest.approx(
+            expr.evaluate({"x": 2.5})
+        )
+
+
+SAMPLE = """
+model demo {
+  param n = 100
+  data R {
+    elements: n*n, element_size: 16, dims: (n, n)
+    pattern template {
+      repeats: 2
+      refs: (R[0, 0], R[0, 1])
+      sweep { start: (R[1, 0]), step: 1, end: (R[n-2, 0]) }
+    }
+  }
+  data A { elements: n, element_size: 8, pattern streaming { stride: 2 } }
+  kernel main { order: "A(RA)", iterations: 3, flops: 2*n }
+}
+machine box {
+  param ghz = 2
+  cache { associativity: 4, sets: 64, line_size: 32 }
+  core { flops: ghz * 1e9 }
+}
+"""
+
+
+class TestProgramRoundTrip:
+    def test_sample_round_trips(self):
+        once = unparse(parse(SAMPLE))
+        twice = unparse(parse(once))
+        assert once == twice
+
+    def test_reprinted_sample_compiles_identically(self):
+        from repro.aspen import MachineModel, compile_source
+        from repro.cachesim import CacheGeometry
+
+        machine = MachineModel.from_geometry(CacheGeometry(4, 64, 32))
+        original = compile_source(SAMPLE, machine=machine)
+        reprinted = compile_source(unparse(parse(SAMPLE)), machine=machine)
+        assert reprinted.nha_by_structure() == pytest.approx(
+            original.nha_by_structure()
+        )
+
+    @pytest.mark.parametrize("name", DSL_KERNELS)
+    def test_builtin_models_round_trip(self, name):
+        source = builtin_source(name, "test")
+        once = unparse(parse(source))
+        twice = unparse(parse(once))
+        assert once == twice
+
+    def test_machine_library_round_trips(self):
+        once = unparse(parse(MACHINE_LIBRARY))
+        twice = unparse(parse(once))
+        assert once == twice
+
+    def test_order_string_preserved(self):
+        out = unparse(parse(SAMPLE))
+        assert 'order: "A(RA)"' in out

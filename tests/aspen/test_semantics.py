@@ -1,0 +1,272 @@
+"""Tests for app/machine model evaluation, validation and compilation."""
+
+import pytest
+
+from repro.aspen import (
+    AspenSemanticError,
+    MachineModel,
+    compile_source,
+    parse,
+    validate,
+)
+from repro.aspen.appmodel import build_app_model
+from repro.aspen.errors import AspenEvalError
+from repro.cachesim import CacheGeometry
+
+MACHINE = """
+machine box {
+  cache { associativity: 4, sets: 64, line_size: 32 }
+  memory { fit: 5000, bandwidth: 1e10 }
+  core { flops: 2e9 }
+}
+"""
+
+VM = """
+model vm {
+  param n = 200
+  data A { elements: n, element_size: 8, pattern streaming { stride: 4 } }
+  data B { elements: n, element_size: 8, pattern streaming { } }
+  data C { elements: n, element_size: 8, pattern streaming { } }
+  kernel main { flops: 2*n, loads: 16*n, stores: 8*n }
+}
+"""
+
+
+class TestAppModelEvaluation:
+    def test_params_resolved_in_order(self):
+        source = "model m { param a = 2, param b = a * 3, kernel k { flops: b } }"
+        app = build_app_model(parse(source).model())
+        assert app.params == {"a": 2.0, "b": 6.0}
+
+    def test_param_overrides(self):
+        app = build_app_model(parse(VM).model(), overrides={"n": 500})
+        assert app.data["A"].num_elements == 500
+
+    def test_override_propagates_to_derived_params(self):
+        source = (
+            "model m { param n = 10, param n2 = n*n, "
+            "kernel k { flops: n2 } }"
+        )
+        app = build_app_model(parse(source).model(), overrides={"n": 20})
+        assert app.params["n2"] == 400.0
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(AspenSemanticError, match="no parameters"):
+            build_app_model(parse(VM).model(), overrides={"zz": 1})
+
+    def test_data_sizes(self):
+        app = build_app_model(parse(VM).model())
+        assert app.data["A"].size_bytes == 1600
+        assert app.working_set_bytes() == 4800
+
+    def test_missing_elements_rejected(self):
+        source = "model m { data D { element_size: 8 }, kernel k { flops: 1 } }"
+        with pytest.raises(AspenSemanticError, match="missing 'elements'"):
+            build_app_model(parse(source).model())
+
+    def test_fractional_elements_rejected(self):
+        source = (
+            "model m { data D { elements: 7/2, element_size: 8 }, "
+            "kernel k { flops: 1 } }"
+        )
+        with pytest.raises(AspenEvalError, match="integer"):
+            build_app_model(parse(source).model())
+
+    def test_dims_must_multiply_to_elements(self):
+        source = (
+            "model m { data D { elements: 10, element_size: 8, dims: (3, 3) } "
+            "kernel k { flops: 1 } }"
+        )
+        with pytest.raises(AspenSemanticError, match="do not multiply"):
+            build_app_model(parse(source).model())
+
+    def test_template_indices_flattened_row_major(self):
+        source = """
+        model m {
+          data D {
+            elements: 12, element_size: 8, dims: (3, 4)
+            pattern template { refs: (D[1, 2], D[2, 3]) }
+          }
+          kernel k { flops: 1 }
+        }
+        """
+        app = build_app_model(parse(source).model())
+        assert app.data["D"].pattern.refs == (6, 11)
+
+    def test_template_index_out_of_range(self):
+        source = """
+        model m {
+          data D {
+            elements: 12, element_size: 8, dims: (3, 4)
+            pattern template { refs: (D[3, 0]) }
+          }
+          kernel k { flops: 1 }
+        }
+        """
+        with pytest.raises(AspenSemanticError, match="out of range"):
+            build_app_model(parse(source).model())
+
+    def test_unknown_kernel_property_rejected(self):
+        source = "model m { kernel k { jiggles: 3 } }"
+        with pytest.raises(AspenSemanticError, match="unknown properties"):
+            build_app_model(parse(source).model())
+
+    def test_kernel_defaults(self):
+        source = "model m { kernel k { flops: 5 } }"
+        kernel = build_app_model(parse(source).model()).kernel()
+        assert kernel.iterations == 1
+        assert kernel.loads == 0.0 and kernel.stores == 0.0
+        assert kernel.time is None
+
+
+class TestMachineModel:
+    def test_from_decl(self):
+        machine = MachineModel.from_decl(parse(MACHINE).machine())
+        assert machine.cache.capacity == 8192
+        assert machine.fit == 5000
+        assert machine.bandwidth == 1e10
+
+    def test_defaults_when_sections_missing(self):
+        machine = MachineModel.from_decl(
+            parse("machine m { cache { associativity: 2, sets: 4, line_size: 32 } }").machine()
+        )
+        assert machine.fit > 0 and machine.bandwidth > 0
+
+    def test_missing_cache_section(self):
+        with pytest.raises(AspenSemanticError, match="cache section"):
+            MachineModel.from_decl(parse("machine m { core { flops: 1 } }").machine())
+
+    def test_unknown_section_rejected(self):
+        source = (
+            "machine m { cache { associativity: 2, sets: 4, line_size: 32 } "
+            "turbo { x: 1 } }"
+        )
+        with pytest.raises(AspenSemanticError, match="unknown sections"):
+            MachineModel.from_decl(parse(source).machine())
+
+    def test_roofline_compute_bound(self):
+        machine = MachineModel.from_decl(parse(MACHINE).machine())
+        assert machine.roofline_seconds(2e9, 1e9) == pytest.approx(1.0)
+
+    def test_roofline_memory_bound(self):
+        machine = MachineModel.from_decl(parse(MACHINE).machine())
+        assert machine.roofline_seconds(1e9, 1e11) == pytest.approx(10.0)
+
+    def test_with_fit(self):
+        machine = MachineModel.from_decl(parse(MACHINE).machine())
+        assert machine.with_fit(1300).fit == 1300
+        with pytest.raises(ValueError):
+            machine.with_fit(-1)
+
+    def test_from_geometry(self):
+        machine = MachineModel.from_geometry(CacheGeometry(2, 4, 32, "g"))
+        assert machine.cache.num_sets == 4
+
+
+class TestValidation:
+    def test_clean_model_no_errors(self):
+        app = build_app_model(parse(VM).model())
+        assert not any(d.is_error for d in validate(app))
+
+    def test_order_with_undeclared_data(self):
+        source = """
+        model m {
+          data A { elements: 10, element_size: 8, pattern streaming }
+          kernel k { order: "AZ", flops: 1 }
+        }
+        """
+        app = build_app_model(parse(source).model())
+        errors = [d for d in validate(app) if d.is_error]
+        assert any("undeclared" in d.message for d in errors)
+
+    def test_order_data_without_pattern(self):
+        source = """
+        model m {
+          data A { elements: 10, element_size: 8 }
+          kernel k { order: "A", flops: 1 }
+        }
+        """
+        app = build_app_model(parse(source).model())
+        assert any(
+            "declares no pattern" in d.message for d in validate(app) if d.is_error
+        )
+
+    def test_random_missing_required_props(self):
+        source = """
+        model m {
+          data A { elements: 10, element_size: 8, pattern random { } }
+          kernel k { flops: 1 }
+        }
+        """
+        app = build_app_model(parse(source).model())
+        errors = [d.message for d in validate(app) if d.is_error]
+        assert any("distinct" in m for m in errors)
+        assert any("iterations" in m for m in errors)
+
+    def test_no_time_no_resources_warns(self):
+        source = "model m { kernel k { } }"
+        app = build_app_model(parse(source).model())
+        warnings = [d for d in validate(app) if not d.is_error]
+        assert any("execution time will be zero" in d.message for d in warnings)
+
+    def test_no_kernel_is_error(self):
+        app = build_app_model(parse("model m { param x = 1 }").model())
+        assert any(d.is_error for d in validate(app))
+
+
+class TestCompilation:
+    def test_vm_compiles_and_estimates(self):
+        compiled = compile_source(VM + MACHINE)
+        nha = compiled.nha_by_structure()
+        assert set(nha) == {"A", "B", "C"}
+        assert nha["A"] > nha["B"]  # larger stride touches more lines
+
+    def test_runtime_roofline(self):
+        compiled = compile_source(VM + MACHINE)
+        # loads+stores = 24*200 = 4800 B over 1e10 B/s vs 400 flops / 2e9.
+        assert compiled.runtime_seconds() == pytest.approx(4800 / 1e10)
+
+    def test_runtime_time_override(self):
+        source = VM.replace("flops: 2*n, loads: 16*n, stores: 8*n", "time: 2.5")
+        compiled = compile_source(source + MACHINE)
+        assert compiled.runtime_seconds() == 2.5
+
+    def test_dvf_positive_and_summed(self):
+        compiled = compile_source(VM + MACHINE)
+        dvf = compiled.dvf_by_structure()
+        assert all(v > 0 for v in dvf.values())
+        assert compiled.dvf_application() == pytest.approx(sum(dvf.values()))
+
+    def test_invalid_model_fails_compilation(self):
+        source = """
+        model m {
+          data A { elements: 10, element_size: 8 }
+          kernel k { order: "A", flops: 1 }
+        }
+        """ + MACHINE
+        with pytest.raises(AspenSemanticError):
+            compile_source(source)
+
+    def test_machine_object_can_replace_source_machine(self):
+        machine = MachineModel.from_geometry(CacheGeometry(4, 64, 32))
+        compiled = compile_source(VM, machine=machine)
+        assert compiled.machine is machine
+
+    def test_params_override_at_compile(self):
+        small = compile_source(VM + MACHINE)
+        large = compile_source(VM + MACHINE, params={"n": 2000})
+        assert large.nha_total() > small.nha_total()
+
+    def test_order_composite_used(self):
+        source = """
+        model cg {
+          param n = 100
+          data A { elements: n*n, element_size: 8, pattern streaming }
+          data p { elements: n, element_size: 8, pattern reuse }
+          kernel k { iterations: 5, order: "(Ap)p", flops: n*n }
+        }
+        """ + MACHINE
+        compiled = compile_source(source)
+        assert compiled.composite is not None
+        nha = compiled.nha_by_structure()
+        assert nha["A"] > 0 and nha["p"] > 0

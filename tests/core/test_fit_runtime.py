@@ -1,0 +1,92 @@
+"""Tests for ECC schemes (Table VII) and runtime providers."""
+
+import pytest
+
+from repro.core import CHIPKILL, ECC_SCHEMES, NO_ECC, SECDED, lookup_scheme
+from repro.core.fit import ECCScheme
+from repro.core.runtime import FixedRuntime, MeasuredRuntime, RooflineRuntime
+
+
+class TestTable7:
+    def test_paper_fit_rates(self):
+        assert NO_ECC.fit == 5000.0
+        assert CHIPKILL.fit == 0.02
+        assert SECDED.fit == 1300.0
+
+    def test_lookup_case_insensitive(self):
+        assert lookup_scheme("SECDED") is SECDED
+        assert lookup_scheme("chipkill") is CHIPKILL
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError, match="unknown ECC scheme"):
+            lookup_scheme("parity")
+
+    def test_three_schemes_registered(self):
+        assert set(ECC_SCHEMES) == {"none", "chipkill", "secded"}
+
+
+class TestCoverageModel:
+    def test_coverage_ramps_linearly(self):
+        assert SECDED.coverage(0.0) == 0.0
+        assert SECDED.coverage(0.025) == pytest.approx(0.5)
+        assert SECDED.coverage(0.05) == 1.0
+        assert SECDED.coverage(0.30) == 1.0
+
+    def test_no_ecc_always_full_coverage(self):
+        # Degenerate scheme: zero-cost "protection" at the baseline FIT.
+        assert NO_ECC.coverage(0.0) == 1.0
+
+    def test_effective_fit_interpolates(self):
+        assert SECDED.effective_fit(0.0, 5000) == pytest.approx(5000)
+        assert SECDED.effective_fit(0.025, 5000) == pytest.approx(
+            0.5 * 5000 + 0.5 * 1300
+        )
+        assert SECDED.effective_fit(0.05, 5000) == pytest.approx(1300)
+        assert SECDED.effective_fit(0.20, 5000) == pytest.approx(1300)
+
+    def test_negative_degradation_rejected(self):
+        with pytest.raises(ValueError):
+            SECDED.coverage(-0.1)
+
+    def test_negative_fit_rejected(self):
+        with pytest.raises(ValueError):
+            ECCScheme(name="bad", fit=-1.0)
+
+
+class TestRuntimeProviders:
+    def test_fixed(self):
+        assert FixedRuntime(2.5).seconds() == 2.5
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedRuntime(-1.0)
+
+    def test_roofline_compute_bound(self):
+        model = RooflineRuntime(
+            flops=4e9, bytes_moved=1e9, flops_rate=2e9, bandwidth=1e10
+        )
+        assert model.seconds() == pytest.approx(2.0)
+
+    def test_roofline_memory_bound(self):
+        model = RooflineRuntime(
+            flops=1e9, bytes_moved=1e11, flops_rate=2e9, bandwidth=1e10
+        )
+        assert model.seconds() == pytest.approx(10.0)
+
+    def test_roofline_validation(self):
+        with pytest.raises(ValueError):
+            RooflineRuntime(flops=-1, bytes_moved=0)
+        with pytest.raises(ValueError):
+            RooflineRuntime(flops=1, bytes_moved=1, flops_rate=0)
+
+    def test_measured_caches_result(self):
+        calls = []
+        provider = MeasuredRuntime(lambda: calls.append(1), repeats=2)
+        t1 = provider.seconds()
+        t2 = provider.seconds()
+        assert t1 == t2
+        assert len(calls) == 2  # measured once (2 repeats), then cached
+
+    def test_measured_repeats_validation(self):
+        with pytest.raises(ValueError):
+            MeasuredRuntime(lambda: None, repeats=0)

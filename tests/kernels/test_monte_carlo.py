@@ -1,0 +1,113 @@
+"""Tests for the Monte Carlo (XSBench-like) kernel."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import PAPER_CACHES, simulate_trace
+from repro.kernels import MonteCarloKernel, Workload
+from repro.kernels.monte_carlo import pivot_frequencies
+
+
+@pytest.fixture
+def kernel():
+    return MonteCarloKernel()
+
+
+def wl(**params):
+    params.setdefault("grid_points", 1024)
+    params.setdefault("nuclides", 8)
+    params.setdefault("lookups", 100)
+    return Workload("t", params)
+
+
+class TestConfig:
+    def test_presets(self, kernel):
+        ds = kernel.data_structures(Workload("t", {"size": "small", "lookups": 1}))
+        assert ds["G"][0] == 32768
+        assert ds["E"][0] == 32768 * 32
+
+    def test_unknown_preset(self, kernel):
+        with pytest.raises(KeyError, match="unknown MC size"):
+            kernel.data_structures(Workload("t", {"size": "huge", "lookups": 1}))
+
+    def test_explicit_sizes(self, kernel):
+        ds = kernel.data_structures(wl())
+        assert ds["G"] == (1024, 8)
+        assert ds["E"] == (8192, 8)
+
+
+class TestPivotFrequencies:
+    def test_root_pivot_always_probed(self):
+        freqs = pivot_frequencies(1024)
+        assert freqs.max() == 1.0
+
+    def test_frequency_sum_is_probes_per_lookup(self):
+        grid = 1024
+        freqs = pivot_frequencies(grid)
+        # One probe per level: about log2(grid) probes per lookup.
+        assert freqs.sum() == pytest.approx(np.log2(grid), rel=0.1)
+
+    def test_skewed_distribution(self):
+        freqs = pivot_frequencies(1024)
+        top = np.sort(freqs)[::-1]
+        # The hottest 15 pivots take ~4 levels of the ~10 probes.
+        assert top[:15].sum() > 3.5
+
+    def test_frequencies_in_unit_interval(self):
+        freqs = pivot_frequencies(512)
+        assert (freqs >= 0).all() and (freqs <= 1.0).all()
+
+
+class TestExecution:
+    def test_lookup_sum_positive(self, kernel):
+        from repro.trace import TraceRecorder
+
+        total = kernel.run_traced(wl(), TraceRecorder())
+        assert total > 0
+
+    def test_trace_has_construction_plus_lookups(self, kernel):
+        workload = wl(lookups=10)
+        trace = kernel.trace(workload)
+        counts = trace.counts_by_label()
+        # E: construction (grid*nuclides) + one row per lookup.
+        assert counts["E"] == 8192 + 10 * 8
+        # G: construction + ~log2(grid) probes per lookup.
+        assert counts["G"] > 1024 + 10 * 5
+
+    def test_deterministic(self, kernel):
+        t1 = kernel.trace(wl(lookups=20))
+        t2 = kernel.trace(wl(lookups=20))
+        assert np.array_equal(t1.addresses, t2.addresses)
+
+
+class TestModel:
+    @pytest.mark.parametrize("cache", ["small", "large"])
+    def test_model_matches_simulator(self, kernel, cache):
+        workload = wl(grid_points=8192, nuclides=16, lookups=100)
+        geometry = PAPER_CACHES[cache]
+        stats = simulate_trace(kernel.trace(workload), geometry)
+        nha = kernel.estimate_nha(workload, geometry)
+        for name, estimate in nha.items():
+            assert estimate == pytest.approx(
+                stats.misses(name), rel=0.15
+            ), name
+
+    def test_cache_split_proportional_to_sizes(self, kernel):
+        model = kernel.access_model(wl())
+        # E is 8x bigger than G, so G gets 1/9 of the cache.
+        assert model["G"].cache_ratio == pytest.approx(1 / 9)
+        assert model["E"].cache_ratio == pytest.approx(8 / 9)
+
+    def test_more_lookups_more_accesses_when_thrashing(self, kernel):
+        geometry = PAPER_CACHES["small"]
+        few = kernel.estimate_nha(wl(lookups=100), geometry)
+        many = kernel.estimate_nha(wl(lookups=10_000), geometry)
+        assert many["E"] > few["E"]
+
+    def test_aspen_source_compiles(self, kernel):
+        from repro.aspen import MachineModel, compile_source
+
+        machine = MachineModel.from_geometry(PAPER_CACHES["small"])
+        compiled = compile_source(kernel.aspen_source(wl()), machine=machine)
+        nha = compiled.nha_by_structure()
+        assert nha["G"] > 0 and nha["E"] > 0

@@ -1,0 +1,124 @@
+"""Tests for trace diagnostics (reuse histograms, MRC, suggestions)."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import CacheGeometry, simulate_trace
+from repro.kernels import KERNELS, TEST_WORKLOADS
+from repro.trace import TraceRecorder
+from repro.trace.analysis import (
+    footprint_summary,
+    miss_ratio_curve,
+    reuse_distance_histogram,
+    suggest_pattern,
+)
+
+
+def stream_trace(n=256, label="A", repeats=1):
+    rec = TraceRecorder()
+    rec.allocate(label, n, 8)
+    for _ in range(repeats):
+        rec.record_stream(label, 0, n)
+    return rec.finish()
+
+
+class TestReuseHistogram:
+    def test_single_sweep_all_cold(self):
+        hist = reuse_distance_histogram(stream_trace(), line_size=64)
+        # 256 * 8 B / 64 B = 32 blocks; 8 refs per block -> distance 0.
+        assert hist[-1] == 32
+        assert hist[0] == 256 - 32
+
+    def test_double_sweep_reuse_at_footprint(self):
+        hist = reuse_distance_histogram(stream_trace(repeats=2), line_size=64)
+        assert hist[31] == 32  # second sweep revisits at distance 31
+
+    def test_label_restriction(self):
+        rec = TraceRecorder()
+        rec.allocate("A", 64, 8)
+        rec.allocate("B", 64, 8)
+        rec.record_stream("A", 0, 64)
+        rec.record_stream("B", 0, 64)
+        hist = reuse_distance_histogram(rec.finish(), 64, label="B")
+        assert sum(hist.values()) == 64
+
+
+class TestMissRatioCurve:
+    def test_monotone_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        rec = TraceRecorder()
+        rec.allocate("A", 1024, 8)
+        rec.record_elements("A", rng.integers(0, 1024, 2000), False)
+        curve = miss_ratio_curve(rec.finish(), line_size=64)
+        sizes = sorted(curve)
+        ratios = [curve[s] for s in sizes]
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_matches_direct_lru_simulation(self):
+        """MRC points must equal a fully-associative LRU simulation."""
+        rng = np.random.default_rng(1)
+        rec = TraceRecorder()
+        rec.allocate("A", 512, 8)
+        rec.record_elements("A", rng.integers(0, 512, 1500), False)
+        trace = rec.finish()
+        for blocks in (4, 16, 64):
+            curve = miss_ratio_curve(trace, line_size=32, sizes=[blocks])
+            # Single-set cache with `blocks` ways = fully-associative LRU.
+            stats = simulate_trace(trace, CacheGeometry(blocks, 1, 32))
+            expected = stats.label("A").misses / len(trace)
+            assert curve[blocks] == pytest.approx(expected)
+
+    def test_empty_trace(self):
+        from repro.trace import ReferenceTrace
+
+        assert miss_ratio_curve(ReferenceTrace.empty()) == {}
+
+
+class TestFootprintSummary:
+    def test_counts(self):
+        rec = TraceRecorder()
+        rec.allocate("A", 64, 8)
+        rec.allocate("B", 64, 8)
+        rec.record_stream("A", 0, 64)
+        rec.record_stream("A", 0, 64)
+        rec.record_stream("B", 0, 64, is_write=True)
+        rows = {f.label: f for f in footprint_summary(rec.finish(), 64)}
+        assert rows["A"].references == 128
+        assert rows["A"].distinct_blocks == 8
+        assert rows["A"].write_fraction == 0.0
+        assert rows["B"].write_fraction == 1.0
+        assert rows["B"].bytes_touched == 8 * 64
+
+    def test_unreferenced_structure(self):
+        rec = TraceRecorder()
+        rec.allocate("A", 8, 8)
+        rec.allocate("ghost", 8, 8)
+        rec.record_stream("A", 0, 8)
+        rows = {f.label: f for f in footprint_summary(rec.finish())}
+        assert rows["ghost"].references == 0
+
+
+class TestSuggestPattern:
+    def test_stream_suggests_streaming(self):
+        assert suggest_pattern(stream_trace(), "A") == "streaming"
+
+    def test_regular_revisits_suggest_template(self):
+        trace = stream_trace(repeats=4)
+        assert suggest_pattern(trace, "A") == "template"
+
+    def test_random_suggests_random(self):
+        rng = np.random.default_rng(0)
+        rec = TraceRecorder()
+        rec.allocate("T", 4096, 64)
+        rec.record_elements("T", rng.integers(0, 4096, 20000), False)
+        assert suggest_pattern(rec.finish(), "T", line_size=64) == "random"
+
+    def test_real_kernels_classified_sensibly(self):
+        vm = KERNELS["VM"].trace(TEST_WORKLOADS["VM"])
+        assert suggest_pattern(vm, "B", line_size=32) == "streaming"
+        nb = KERNELS["NB"].trace(TEST_WORKLOADS["NB"])
+        assert suggest_pattern(nb, "T", line_size=32) == "random"
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            suggest_pattern(stream_trace(), "missing")

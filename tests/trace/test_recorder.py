@@ -1,0 +1,170 @@
+"""Tests for the trace recorder and reference trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.trace import MemoryReference, ReferenceTrace, TraceRecorder
+
+
+@pytest.fixture
+def rec():
+    recorder = TraceRecorder()
+    recorder.allocate("A", 100, 8)
+    recorder.allocate("B", 50, 16)
+    return recorder
+
+
+class TestScalarRecording:
+    def test_record_element(self, rec):
+        rec.record_element("A", 3, is_write=False)
+        trace = rec.finish()
+        ref = trace[0]
+        assert ref == MemoryReference(address=24, size=8, is_write=False, label="A")
+
+    def test_record_element_write_flag(self, rec):
+        rec.record_element("A", 0, is_write=True)
+        assert rec.finish()[0].is_write is True
+
+    def test_record_address_direct(self, rec):
+        rec.record_address("A", 123, 4, False)
+        ref = rec.finish()[0]
+        assert ref.address == 123 and ref.size == 4
+
+    def test_len_tracks_count(self, rec):
+        for i in range(5):
+            rec.record_element("A", i, False)
+        assert len(rec) == 5
+
+    def test_chunk_boundary_crossing(self):
+        # More references than one internal chunk (65536).
+        rec = TraceRecorder()
+        rec.allocate("A", 10, 8)
+        for _ in range(70000):
+            rec.record_element("A", 1, False)
+        trace = rec.finish()
+        assert len(trace) == 70000
+        assert trace.count_for("A") == 70000
+
+
+class TestVectorisedRecording:
+    def test_record_elements_addresses(self, rec):
+        rec.record_elements("A", np.array([0, 2, 4]), False)
+        trace = rec.finish()
+        assert list(trace.addresses) == [0, 16, 32]
+
+    def test_record_elements_bounds_checked(self, rec):
+        with pytest.raises(IndexError):
+            rec.record_elements("A", np.array([0, 100]), False)
+
+    def test_record_stream_stride(self, rec):
+        rec.record_stream("A", 0, 5, stride_elements=3)
+        trace = rec.finish()
+        assert list(trace.addresses) == [0, 24, 48, 72, 96]
+
+    def test_record_empty_is_noop(self, rec):
+        rec.record_elements("A", np.array([], dtype=np.int64), False)
+        assert len(rec.finish()) == 0
+
+    def test_mixed_scalar_and_vector_preserves_order(self, rec):
+        rec.record_element("A", 0, False)
+        rec.record_elements("A", np.array([1, 2]), False)
+        rec.record_element("A", 3, False)
+        trace = rec.finish()
+        assert list(trace.addresses) == [0, 8, 16, 24]
+
+    def test_interleaved_round_robin(self, rec):
+        rec.record_interleaved(
+            [
+                ("A", np.array([0, 1]), False),
+                ("B", np.array([0, 1]), True),
+            ]
+        )
+        trace = rec.finish()
+        assert [r.label for r in trace] == ["A", "B", "A", "B"]
+        assert [r.is_write for r in trace] == [False, True, False, True]
+
+    def test_interleaved_unequal_lengths_rejected(self, rec):
+        with pytest.raises(ValueError, match="equal length"):
+            rec.record_interleaved(
+                [("A", np.array([0, 1]), False), ("B", np.array([0]), False)]
+            )
+
+
+class TestReferenceTrace:
+    def make(self, rec):
+        rec.record_stream("A", 0, 10)
+        rec.record_stream("B", 0, 5, is_write=True)
+        return rec.finish()
+
+    def test_counts_by_label(self, rec):
+        trace = self.make(rec)
+        assert trace.counts_by_label() == {"A": 10, "B": 5}
+
+    def test_count_for_unknown_label_raises(self, rec):
+        trace = self.make(rec)
+        with pytest.raises(KeyError):
+            trace.count_for("Z")
+
+    def test_filter_label(self, rec):
+        trace = self.make(rec)
+        sub = trace.filter_label("B")
+        assert len(sub) == 5
+        assert all(r.label == "B" for r in sub)
+
+    def test_write_fraction(self, rec):
+        trace = self.make(rec)
+        assert trace.write_fraction() == pytest.approx(5 / 15)
+
+    def test_empty_trace_write_fraction(self):
+        assert ReferenceTrace.empty().write_fraction() == 0.0
+
+    def test_concat_merges_labels(self):
+        r1 = TraceRecorder()
+        r1.allocate("A", 10, 8)
+        r1.record_stream("A", 0, 3)
+        r2 = TraceRecorder()
+        r2.allocate("B", 10, 8)
+        r2.record_stream("B", 0, 2)
+        merged = r1.finish().concat(r2.finish())
+        assert len(merged) == 5
+        assert merged.counts_by_label() == {"A": 3, "B": 2}
+
+    def test_concat_shared_labels_remap(self, rec):
+        t1 = self.make(rec)
+        rec2 = TraceRecorder()
+        rec2.allocate("B", 10, 8)
+        rec2.record_stream("B", 0, 4)
+        merged = t1.concat(rec2.finish())
+        assert merged.counts_by_label()["B"] == 9
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            ReferenceTrace(
+                np.zeros(3, dtype=np.int64),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=bool),
+                np.zeros(3, dtype=np.int32),
+                ["A"],
+            )
+
+    def test_iteration_yields_references(self, rec):
+        trace = self.make(rec)
+        refs = list(trace)
+        assert len(refs) == 15
+        assert isinstance(refs[0], MemoryReference)
+
+
+class TestTraceIO:
+    def test_roundtrip(self, rec, tmp_path):
+        from repro.trace import load_trace, save_trace
+
+        rec.record_stream("A", 0, 10)
+        rec.record_stream("B", 0, 5, is_write=True)
+        trace = rec.finish()
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.labels == trace.labels
+        assert (loaded.addresses == trace.addresses).all()
+        assert (loaded.is_write == trace.is_write).all()

@@ -1,0 +1,90 @@
+"""Tests for the self-recording TracedArray."""
+
+import numpy as np
+import pytest
+
+from repro.trace import TracedArray, TraceRecorder
+
+
+@pytest.fixture
+def rec():
+    return TraceRecorder()
+
+
+class TestScalarIndexing:
+    def test_read_records_load(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr[3]
+        ref = rec.finish()[0]
+        assert ref.label == "A" and not ref.is_write
+
+    def test_write_records_store(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr[3] = 1.5
+        ref = rec.finish()[0]
+        assert ref.is_write
+        assert arr.read_quiet(3) == 1.5
+
+    def test_2d_indexing_flattens_row_major(self, rec):
+        arr = TracedArray(rec, "A", (4, 5))
+        arr[1, 2]
+        ref = rec.finish()[0]
+        assert ref.address == (1 * 5 + 2) * 8
+
+    def test_values_round_trip(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr[0] = 42.0
+        assert arr[0] == 42.0
+
+
+class TestBulkIndexing:
+    def test_slice_records_every_element(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr[2:5]
+        assert len(rec.finish()) == 3
+
+    def test_fancy_indexing_records(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr[np.array([1, 3, 5])]
+        trace = rec.finish()
+        assert list(trace.addresses) == [8, 24, 40]
+
+    def test_row_of_2d(self, rec):
+        arr = TracedArray(rec, "A", (3, 4))
+        arr[1]
+        assert len(rec.finish()) == 4
+
+
+class TestQuietAccess:
+    def test_read_quiet_not_recorded(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr.read_quiet(3)
+        assert len(rec.finish()) == 0
+
+    def test_write_quiet_not_recorded(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr.write_quiet(3, 7.0)
+        assert arr.read_quiet(3) == 7.0
+        assert len(rec.finish()) == 0
+
+
+class TestConstruction:
+    def test_element_size_override(self, rec):
+        TracedArray(rec, "node", 10, element_size=32)
+        seg = rec.address_space.segment("node")
+        assert seg.element_size == 32
+
+    def test_fill_value(self, rec):
+        arr = TracedArray(rec, "A", 5, fill=2.0)
+        assert arr.read_quiet(slice(None)).tolist() == [2.0] * 5
+
+    def test_dtype_int(self, rec):
+        arr = TracedArray(rec, "A", 5, dtype=np.int64)
+        arr[0] = 3
+        assert arr.read_quiet(0) == 3
+
+    def test_shape_and_size(self, rec):
+        arr = TracedArray(rec, "A", (2, 3))
+        assert arr.shape == (2, 3)
+        assert arr.size == 6
+        assert len(arr) == 2
