@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.cachesim.configs import PAPER_CACHES
 from repro.core.analyzer import AnalyzerConfig, DVFAnalyzer
@@ -62,15 +63,44 @@ def run_fi_comparison(
     tier: str = "test",
     trials: int = 200,
     seed: int = 0,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> list[FIComparisonRow]:
-    """Run campaigns and compare against DVF for injectable kernels."""
+    """Run campaigns and compare against DVF for injectable kernels.
+
+    ``jobs``/``timeout`` route the campaigns through the crash-isolated
+    process executor.  ``checkpoint_dir`` journals each kernel's
+    campaign to ``<dir>/<kernel>.jsonl`` and resumes from any journal
+    already there, so an interrupted comparison re-runs only what is
+    missing.  On Ctrl-C the completed rows are returned (the current
+    campaign having flushed its checkpoint first).
+    """
     analyzer = DVFAnalyzer(AnalyzerConfig(geometry=PAPER_CACHES["8MB"]))
     rows: list[FIComparisonRow] = []
     for name in kernels:
         if name not in INJECTABLE_KERNELS:
             raise KeyError(f"kernel {name!r} has no injection adapter")
         workload = FI_WORKLOADS.get(name, WORKLOADS[tier][name])
-        campaign = run_campaign(name, workload, trials=trials, seed=seed)
+        checkpoint = (
+            Path(checkpoint_dir) / f"{name.lower()}.jsonl"
+            if checkpoint_dir is not None
+            else None
+        )
+        campaign = run_campaign(
+            name,
+            workload,
+            trials=trials,
+            seed=seed,
+            jobs=jobs,
+            timeout=timeout,
+            checkpoint_path=checkpoint,
+            resume_from=checkpoint,
+        )
+        if not campaign.complete:
+            # Interrupted mid-campaign: its trials are journaled; stop
+            # here so a re-run with the same checkpoint_dir resumes.
+            break
         start = time.perf_counter()
         report = analyzer.analyze(KERNELS[name], workload)
         model_seconds = time.perf_counter() - start

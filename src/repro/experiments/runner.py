@@ -55,7 +55,15 @@ def _fi(args) -> str:
     )
 
     trials = 200 if args.tier != "test" else 100
-    return render_fi_comparison(run_fi_comparison(tier="test", trials=trials))
+    return render_fi_comparison(
+        run_fi_comparison(
+            tier="test",
+            trials=trials,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            checkpoint_dir=args.resume,
+        )
+    )
 
 
 def _sensitivity(args) -> str:
@@ -103,6 +111,30 @@ def main(argv: list[str] | None = None) -> int:
         default="verification",
         help="workload tier (default: the paper's own sizes; "
         "'test' runs a fast reduced sweep)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fi: run trials in a crash-isolated pool of N worker "
+        "processes (a crashing trial counts as CRASH instead of "
+        "aborting the campaign)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fi: per-trial wall-clock budget; a hung trial is "
+        "terminated and counted as TIMEOUT (implies process isolation)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="fi: journal campaigns to DIR/<kernel>.jsonl and resume "
+        "from any checkpoints already present (safe across Ctrl-C)",
     )
     args = parser.parse_args(argv)
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]

@@ -1,0 +1,180 @@
+"""JSONL trial journal making campaigns resumable.
+
+Format (one JSON object per line)::
+
+    {"kind": "fi-checkpoint", "version": 1, "fingerprint": {...}}
+    {"structure": "A", "trial": 0, "outcome": "benign"}
+    {"structure": "A", "trial": 1, "outcome": "sdc"}
+    ...
+
+The first line is a header carrying the campaign *fingerprint* —
+``kernel``, ``workload`` (name + params), ``seed`` and ``tolerance`` —
+everything that determines trial outcomes.  Trial counts and structure
+subsets are deliberately *not* part of the fingerprint: per-trial
+seeding makes outcomes identical across those choices, so a journal
+from a 100-trial campaign validly seeds a 500-trial resume.
+
+Each completed trial is appended and flushed immediately, so a hard
+kill loses at most the line being written.  The loader tolerates a
+truncated final line (the normal kill artifact) but raises
+:class:`~repro.faultinject.errors.CheckpointCorrupt` for corruption
+anywhere else, and
+:class:`~repro.faultinject.errors.CheckpointMismatch` when the
+fingerprint disagrees with the resuming campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.faultinject.errors import CheckpointCorrupt, CheckpointMismatch
+from repro.faultinject.outcomes import Outcome
+from repro.kernels.base import Workload
+
+#: Journal format version; bump on incompatible change.
+CHECKPOINT_VERSION = 1
+_HEADER_KIND = "fi-checkpoint"
+
+
+def campaign_fingerprint(
+    kernel: str, workload: Workload, seed: int, tolerance: float
+) -> dict:
+    """JSON-safe identity of a trial population.
+
+    Two campaigns with equal fingerprints produce bit-identical
+    outcomes for any shared ``(structure, trial)`` pair.
+    """
+    fingerprint = {
+        "kernel": kernel.upper(),
+        "workload": workload.name,
+        "params": {str(k): workload.params[k] for k in sorted(workload.params)},
+        "seed": int(seed),
+        "tolerance": float(tolerance),
+    }
+    # Round-trip so comparisons against loaded headers see the same
+    # JSON-normalized values (tuples become lists, ints stay ints).
+    return json.loads(json.dumps(fingerprint))
+
+
+def load_checkpoint(
+    path: str | os.PathLike, fingerprint: dict | None = None
+) -> dict[tuple[str, int], Outcome]:
+    """Read a journal, returning ``{(structure, trial): Outcome}``.
+
+    Duplicate ``(structure, trial)`` lines keep the last occurrence (a
+    journal appended to across several resumes is still valid).  When
+    ``fingerprint`` is given, the header must match it exactly.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise CheckpointCorrupt(f"{path}: empty checkpoint file")
+    header = _parse_line(path, lines[0], line_number=1, last=len(lines) == 1)
+    if header is None or header.get("kind") != _HEADER_KIND:
+        raise CheckpointCorrupt(f"{path}: missing checkpoint header")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointCorrupt(
+            f"{path}: unsupported checkpoint version {header.get('version')!r}"
+        )
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
+        raise CheckpointMismatch(
+            f"{path}: checkpoint was written by a different campaign "
+            f"(header {header.get('fingerprint')!r} != expected "
+            f"{fingerprint!r}); refusing to merge trial populations"
+        )
+    records: dict[tuple[str, int], Outcome] = {}
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        obj = _parse_line(path, line, line_number=i, last=i == len(lines))
+        if obj is None:  # tolerated truncated final line
+            continue
+        try:
+            key = (str(obj["structure"]), int(obj["trial"]))
+            records[key] = Outcome(obj["outcome"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointCorrupt(
+                f"{path}:{i}: malformed trial record {line!r}"
+            ) from exc
+    return records
+
+
+def _parse_line(path: Path, line: str, *, line_number: int, last: bool):
+    """Parse one journal line; a bad *final* line returns None."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        if last:
+            return None
+        raise CheckpointCorrupt(
+            f"{path}:{line_number}: corrupt checkpoint line {line!r}"
+        ) from exc
+    if not isinstance(obj, dict):
+        if last:
+            return None
+        raise CheckpointCorrupt(
+            f"{path}:{line_number}: checkpoint line is not an object: {line!r}"
+        )
+    return obj
+
+
+class CheckpointWriter:
+    """Append-mode trial journal with immediate flush.
+
+    ``resume=True`` appends to an existing journal (whose header the
+    caller has already validated via :func:`load_checkpoint`); otherwise
+    any existing file is truncated and a fresh header written.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        fingerprint: dict,
+        resume: bool = False,
+    ):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: True when continuing an existing journal (header kept) rather
+        #: than starting a fresh one.
+        self.appending = (
+            resume and self.path.exists() and self.path.stat().st_size > 0
+        )
+        self._fh = self.path.open(
+            "a" if self.appending else "w", encoding="utf-8"
+        )
+        if not self.appending:
+            self._write_line(
+                {
+                    "kind": _HEADER_KIND,
+                    "version": CHECKPOINT_VERSION,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    def append(self, structure: str, trial_index: int, outcome: Outcome) -> None:
+        """Journal one completed trial (flushed before returning)."""
+        self._write_line(
+            {
+                "structure": structure,
+                "trial": int(trial_index),
+                "outcome": outcome.value,
+            }
+        )
+
+    def _write_line(self, obj: dict) -> None:
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the journal file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -26,10 +26,14 @@ def empirical_vulnerability(
     """``N_error(d) * failure_rate(d)`` per structure.
 
     Uses the report's FIT and execution time so both sides of the
-    comparison share the same exposure model.
+    comparison share the same exposure model.  Structures with zero
+    counted trials (possible in a partial, interrupted campaign) are
+    skipped — they carry no empirical information.
     """
     out: dict[str, float] = {}
     for stats in campaign.structures:
+        if stats.trials == 0:
+            continue
         row = report.structure(stats.structure)
         errors = n_error(report.fit, report.time_seconds, row.size_bytes)
         out[stats.structure] = errors * stats.failure_rate

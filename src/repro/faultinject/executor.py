@@ -1,0 +1,265 @@
+"""Crash-isolated, deterministic trial executors for FI campaigns.
+
+Two layers live here:
+
+1. **Deterministic trial identity.**  Every trial is a pure function of
+   ``(campaign seed, structure, trial index)``: its private RNG stream
+   comes from ``np.random.SeedSequence(seed, spawn_key=(structure_key,
+   trial_index))`` — the same construction ``SeedSequence.spawn`` uses,
+   but keyed on the trial's *identity* instead of spawn order.  Results
+   are therefore bit-identical regardless of executor choice, worker
+   count, which subset of structures runs, or where a resumed campaign
+   picks up.
+
+2. **Pluggable execution.**  :class:`InProcessExecutor` is the fast
+   path; :class:`ProcessTrialExecutor` forks one worker per trial (in
+   waves of ``jobs``) so a segfault-class failure or hang in a kernel
+   takes down only its worker — the executor reports it as a
+   :class:`~repro.faultinject.errors.TrialCrash` /
+   :class:`~repro.faultinject.errors.TrialTimeout` sentinel and the
+   campaign keeps going.
+
+Executors return *raw* trial outputs (kernel output array, ``None`` for
+a caught crash-class exception, or a trial-error sentinel); outcome
+classification against the fault-free reference stays in the campaign
+driver so both executors share one code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faultinject.errors import TrialCrash, TrialTimeout
+from repro.faultinject.targets import resolve_target
+from repro.kernels.base import Workload
+
+#: Exceptions a fault-perturbed trial may legitimately raise.  NumPy
+#: surfaces injected non-finite values as ``FloatingPointError``,
+#: ``OverflowError`` or ``RuntimeError`` depending on errstate and code
+#: path; corrupted shapes/indices raise ``ValueError``; degenerate
+#: systems raise ``LinAlgError`` (and ``ZeroDivisionError`` from scalar
+#: math).  All count as CRASH outcomes, never as campaign bugs.
+TRIAL_CRASH_EXCEPTIONS: tuple[type[BaseException], ...] = (
+    FloatingPointError,
+    ZeroDivisionError,
+    OverflowError,
+    RuntimeError,
+    ValueError,
+    np.linalg.LinAlgError,
+)
+
+#: Spawn-key component reserved for the fault-free reference run, so it
+#: can never collide with a trial stream (structure keys are CRC32s of
+#: non-empty names; the empty string hashes to 0 only for b"").
+REFERENCE_SPAWN_KEY = (0xFFFFFFFF + 1,)
+
+
+def structure_key(structure: str) -> int:
+    """Stable integer identity for a structure label (CRC32 of UTF-8).
+
+    Independent of the structure's position in any tuple, so campaigns
+    over subsets see the same per-trial streams as full campaigns.
+    """
+    return zlib.crc32(structure.encode("utf-8"))
+
+
+def trial_seed(seed: int, structure: str, trial_index: int) -> np.random.SeedSequence:
+    """The ``SeedSequence`` owning trial ``(structure, trial_index)``.
+
+    Built as ``SeedSequence(seed, spawn_key=(structure_key(structure),
+    trial_index))`` — exactly what ``SeedSequence(seed).spawn(...)``
+    would produce if spawning were keyed on identity rather than call
+    order.
+    """
+    return np.random.SeedSequence(
+        seed, spawn_key=(structure_key(structure), trial_index)
+    )
+
+
+def reference_rng(seed: int) -> np.random.Generator:
+    """Dedicated RNG stream for the fault-free reference run."""
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=REFERENCE_SPAWN_KEY)
+    )
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Complete, picklable description of one injection trial."""
+
+    kernel: str
+    workload: Workload
+    structure: str
+    trial_index: int
+    seed: int
+
+    def rng(self) -> np.random.Generator:
+        """The trial's private RNG stream (phase draw + flip location)."""
+        return np.random.default_rng(
+            trial_seed(self.seed, self.structure, self.trial_index)
+        )
+
+
+def run_trial(spec: TrialSpec):
+    """Execute one trial; returns the kernel output or ``None``.
+
+    ``None`` means a crash-class exception was caught — the adapter's
+    numerics legitimately blew up under the injected fault.  Anything
+    else (including a hard worker death) is the executor's business.
+    """
+    target = resolve_target(spec.kernel)
+    rng = spec.rng()
+    phase = float(rng.random())
+    try:
+        # Faults legitimately overflow/underflow the numerics; silence
+        # the warnings and let classification see the non-finite values.
+        with np.errstate(all="ignore"):
+            return target.run(spec.workload, spec.structure, phase, rng)
+    except TRIAL_CRASH_EXCEPTIONS:
+        return None
+
+
+class TrialExecutor:
+    """Interface executors implement.
+
+    ``batch_size`` tells the campaign how many trials to submit per
+    :meth:`run_batch` call; it affects scheduling only, never results —
+    the campaign consumes outputs in trial-index order and applies its
+    stopping rule per trial, so extra in-flight trials are discarded
+    deterministically.
+    """
+
+    batch_size: int = 1
+
+    def run_batch(self, specs: list[TrialSpec]) -> list:
+        """Run ``specs``, returning one raw result per spec, in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (no-op by default)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class InProcessExecutor(TrialExecutor):
+    """Fast path: trials run in the campaign process.
+
+    No crash isolation — a segfault-class failure in an adapter would
+    take down the campaign — but zero per-trial overhead, and
+    crash-class *exceptions* are still caught and classified.
+    """
+
+    batch_size = 1
+
+    def run_batch(self, specs: list[TrialSpec]) -> list:
+        return [run_trial(spec) for spec in specs]
+
+
+def _trial_child(conn, spec: TrialSpec) -> None:  # pragma: no cover - subprocess
+    """Worker entry point: run the trial, ship the raw result back."""
+    try:
+        conn.send(run_trial(spec))
+    finally:
+        conn.close()
+
+
+class ProcessTrialExecutor(TrialExecutor):
+    """One worker process per trial, launched in waves of ``jobs``.
+
+    The strongest isolation available from the standard library: a
+    worker that segfaults, calls ``os._exit``, or is OOM-killed is
+    reported as :class:`TrialCrash`; one that hangs past ``timeout``
+    seconds is terminated and reported as :class:`TrialTimeout`.  The
+    campaign classifies both without aborting.
+
+    ``timeout`` is the per-wave wall-clock budget; since every trial in
+    a wave starts together, it bounds each trial's runtime.  Uses the
+    ``fork`` start method where available (cheap on Linux, and child
+    processes inherit monkeypatched registries — useful in tests),
+    falling back to ``spawn``; :class:`TrialSpec` is picklable either
+    way.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        timeout: float | None = None,
+        start_method: str | None = None,
+    ):
+        self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 1))
+        self.timeout = timeout
+        self.batch_size = self.jobs
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(start_method)
+
+    def run_batch(self, specs: list[TrialSpec]) -> list:
+        workers = []
+        for spec in specs:
+            recv, send = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_trial_child, args=(send, spec), daemon=True
+            )
+            proc.start()
+            send.close()
+            workers.append((spec, proc, recv))
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        results = []
+        for spec, proc, recv in workers:
+            results.append(self._collect(spec, proc, recv, deadline))
+        return results
+
+    def _collect(self, spec, proc, recv, deadline):
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        proc.join(remaining)
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+                return TrialTimeout(
+                    f"trial {spec.structure}#{spec.trial_index} exceeded "
+                    f"{self.timeout}s",
+                    timeout=self.timeout,
+                    kernel=spec.kernel,
+                    structure=spec.structure,
+                    trial_index=spec.trial_index,
+                )
+            if recv.poll():
+                try:
+                    return recv.recv()
+                except (EOFError, OSError):
+                    pass  # died mid-send: fall through to crash
+            return TrialCrash(
+                f"worker for trial {spec.structure}#{spec.trial_index} died "
+                f"(exitcode {proc.exitcode})",
+                exitcode=proc.exitcode,
+                kernel=spec.kernel,
+                structure=spec.structure,
+                trial_index=spec.trial_index,
+            )
+        finally:
+            recv.close()
+
+
+def make_executor(
+    jobs: int | None = None, timeout: float | None = None
+) -> TrialExecutor:
+    """Pick an executor: process isolation iff ``jobs``/``timeout`` set."""
+    if jobs is not None or timeout is not None:
+        return ProcessTrialExecutor(jobs=jobs, timeout=timeout)
+    return InProcessExecutor()

@@ -8,6 +8,13 @@ SC'12, which the paper extends):
 * **SDC** — silent data corruption: the run completes but the output is
   wrong;
 * **crash** — the run raises, diverges, or produces non-finite output.
+
+We extend the taxonomy with **timeout** — the run exceeded its
+per-trial wall-clock budget and was terminated by the executor (a hang
+is a distinct failure mode from a crash: think livelock in a corrupted
+convergence loop rather than a wild pointer).  Timeouts only occur
+under the process-isolated executor; the in-process fast path cannot
+interrupt a hung trial.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ class Outcome(Enum):
     BENIGN = "benign"
     SDC = "sdc"
     CRASH = "crash"
+    TIMEOUT = "timeout"
 
     @property
     def is_failure(self) -> bool:

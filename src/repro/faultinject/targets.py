@@ -170,3 +170,19 @@ INJECTABLE_KERNELS: dict[str, InjectionTarget] = {
     "FT": InjectionTarget("FT", ("X",), _run_ft),
     "MC": InjectionTarget("MC", ("G", "E"), _run_mc),
 }
+
+
+def resolve_target(kernel_name: str) -> InjectionTarget:
+    """Look up the injection adapter for ``kernel_name`` (case-insensitive).
+
+    This is the single resolution point shared by the campaign driver
+    and the executor worker processes, so a trial shipped to a worker by
+    name resolves to the same adapter the parent validated.
+    """
+    try:
+        return INJECTABLE_KERNELS[kernel_name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"kernel {kernel_name!r} has no injection adapter; available: "
+            f"{sorted(INJECTABLE_KERNELS)}"
+        ) from None
