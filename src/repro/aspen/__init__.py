@@ -23,12 +23,20 @@ Quickstart::
     compiled.nha_by_structure()   # {"A": ..., "B": ..., "C": ...}
 """
 
-from repro.aspen.errors import AspenError, AspenSyntaxError, AspenSemanticError
+from repro.aspen.errors import (
+    AspenError,
+    AspenSyntaxError,
+    AspenSemanticError,
+    Diagnostic,
+    DiagnosticSink,
+    SourceSpan,
+    render_diagnostics,
+)
 from repro.aspen.lexer import tokenize
-from repro.aspen.parser import parse
+from repro.aspen.parser import parse, parse_with_diagnostics
 from repro.aspen.machine import MachineModel
 from repro.aspen.appmodel import AppModel, DataModel, KernelModel
-from repro.aspen.analysis import Diagnostic, validate
+from repro.aspen.analysis import validate
 from repro.aspen.compiler import CompiledModel, compile_model, compile_source
 from repro.aspen.printer import format_expr, unparse
 from repro.aspen.builtin import (
@@ -42,8 +50,12 @@ __all__ = [
     "AspenError",
     "AspenSyntaxError",
     "AspenSemanticError",
+    "DiagnosticSink",
+    "SourceSpan",
+    "render_diagnostics",
     "tokenize",
     "parse",
+    "parse_with_diagnostics",
     "MachineModel",
     "AppModel",
     "DataModel",

@@ -9,33 +9,21 @@ advisory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.aspen.appmodel import AppModel, PATTERN_KINDS
 from repro.aspen.machine import MachineModel
+from repro.diagnostics import Diagnostic
 from repro.patterns.composite import parse_order
-
-
-@dataclass(frozen=True, slots=True)
-class Diagnostic:
-    """One validation finding."""
-
-    severity: str  # "error" | "warning"
-    message: str
-
-    @property
-    def is_error(self) -> bool:
-        return self.severity == "error"
-
-    def __str__(self) -> str:
-        return f"{self.severity}: {self.message}"
 
 
 def validate(app: AppModel, machine: MachineModel | None = None) -> list[Diagnostic]:
     """Validate an application model (optionally against a machine)."""
     out: list[Diagnostic] = []
-    error = lambda msg: out.append(Diagnostic("error", msg))  # noqa: E731
-    warn = lambda msg: out.append(Diagnostic("warning", msg))  # noqa: E731
+
+    def error(msg: str, structure: str | None = None) -> None:
+        out.append(Diagnostic("error", "ASP209", msg, structure=structure))
+
+    def warn(msg: str, structure: str | None = None) -> None:
+        out.append(Diagnostic("warning", "ASP210", msg, structure=structure))
 
     if not app.data:
         warn(f"model {app.name!r} declares no data structures")
@@ -45,15 +33,18 @@ def validate(app: AppModel, machine: MachineModel | None = None) -> list[Diagnos
     for data in app.data.values():
         pattern = data.pattern
         if pattern is None:
-            warn(
-                f"data {data.name!r} has no access pattern; it will be "
-                f"excluded from N_ha estimation"
-            )
+            if not data.pattern_invalid:
+                # An *invalid* pattern already carries its own error
+                # diagnostic and degrades to the worst-case bound.
+                warn(
+                    f"data {data.name!r} has no access pattern; it will be "
+                    f"excluded from N_ha estimation"
+                )
             continue
         if pattern.kind == "streaming":
             stride = pattern.properties.get("stride", 1.0)
             if stride < 1:
-                error(f"data {data.name!r}: streaming stride must be >= 1")
+                error(f"data {data.name!r}: streaming stride must be >= 1", data.name)
         elif pattern.kind == "random":
             for required in ("distinct", "iterations"):
                 if required not in pattern.properties:
@@ -69,7 +60,7 @@ def validate(app: AppModel, machine: MachineModel | None = None) -> list[Diagnos
                 )
             ratio = pattern.properties.get("cache_ratio", 1.0)
             if not 0 < ratio <= 1:
-                error(f"data {data.name!r}: cache_ratio must be in (0, 1]")
+                error(f"data {data.name!r}: cache_ratio must be in (0, 1]", data.name)
         elif pattern.kind == "template":
             if not pattern.sweeps and not pattern.refs:
                 error(
@@ -79,7 +70,7 @@ def validate(app: AppModel, machine: MachineModel | None = None) -> list[Diagnos
         elif pattern.kind == "reuse":
             interfering = pattern.properties.get("interfering", 0.0)
             if interfering < 0:
-                error(f"data {data.name!r}: 'interfering' must be >= 0")
+                error(f"data {data.name!r}: 'interfering' must be >= 0", data.name)
         else:  # pragma: no cover - appmodel already rejects unknown kinds
             error(
                 f"data {data.name!r}: unknown pattern kind {pattern.kind!r} "

@@ -6,7 +6,7 @@ objects the compiler can lower onto the CGPMAC pattern estimators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -18,8 +18,13 @@ from repro.aspen.ast import (
     PatternDecl,
     SweepDecl,
 )
-from repro.aspen.errors import AspenSemanticError
-from repro.aspen.expr import Expr, evaluate_int
+from repro.aspen.errors import (
+    AspenEvalError,
+    AspenSemanticError,
+    DiagnosticSink,
+    SourceSpan,
+)
+from repro.aspen.expr import evaluate_int
 
 #: Pattern kinds understood by the compiler and their single-letter codes.
 PATTERN_KINDS = {
@@ -56,13 +61,21 @@ class PatternSpec:
 
 @dataclass(frozen=True, slots=True)
 class DataModel:
-    """An evaluated data structure declaration."""
+    """An evaluated data structure declaration.
+
+    ``pattern_invalid`` marks a structure whose pattern declaration
+    could not be evaluated in lenient mode: it is sized (``elements`` /
+    ``element_size`` are good) but has no usable estimator, so the
+    compiler degrades it to the worst-case bound instead of excluding
+    it from ``N_ha``.
+    """
 
     name: str
     num_elements: int
     element_size: int
     dims: tuple[int, ...] = ()
     pattern: PatternSpec | None = None
+    pattern_invalid: bool = False
 
     @property
     def size_bytes(self) -> int:
@@ -122,23 +135,44 @@ class AppModel:
 # evaluation from the AST
 # ----------------------------------------------------------------------
 def build_app_model(
-    decl: ModelDecl, overrides: dict[str, float] | None = None
+    decl: ModelDecl,
+    overrides: dict[str, float] | None = None,
+    sink: DiagnosticSink | None = None,
 ) -> AppModel:
     """Evaluate a parsed model declaration into an :class:`AppModel`.
 
     ``overrides`` replace same-named ``param`` values, enabling sweeps
     (problem sizes, iteration counts) without editing source text.
+
+    With ``sink=None`` (strict) the first semantic error raises
+    :class:`AspenSemanticError` / :class:`AspenEvalError` exactly as
+    before.  With a :class:`DiagnosticSink` the build is *lenient*: all
+    errors are recorded as coded diagnostics, unsizable structures and
+    broken kernels are dropped, and structures whose pattern cannot be
+    evaluated are kept with ``pattern_invalid=True`` so the compiler can
+    degrade them to the worst-case bound.
     """
+    lenient = sink is not None
     env: dict[str, float] = {}
     for param in decl.params:
-        value = param.value.evaluate(env)
-        env[param.name] = value
+        try:
+            env[param.name] = param.value.evaluate(env)
+        except AspenEvalError as exc:
+            if not lenient:
+                raise
+            sink.error(
+                "ASP211",
+                f"model {decl.name!r}: param {param.name!r}: {exc}",
+                span=SourceSpan(param.line, 0),
+            )
     if overrides:
         unknown = set(overrides) - set(env)
         if unknown:
-            raise AspenSemanticError(
-                f"model {decl.name!r} has no parameters {sorted(unknown)}"
-            )
+            message = f"model {decl.name!r} has no parameters {sorted(unknown)}"
+            if not lenient:
+                raise AspenSemanticError(message)
+            sink.error("ASP208", message)
+            overrides = {k: v for k, v in overrides.items() if k in env}
         env.update(overrides)
         # Re-evaluate in declaration order so derived params see overrides.
         env2: dict[str, float] = {}
@@ -146,50 +180,112 @@ def build_app_model(
             if param.name in overrides:
                 env2[param.name] = overrides[param.name]
             else:
-                env2[param.name] = param.value.evaluate(env2)
+                try:
+                    env2[param.name] = param.value.evaluate(env2)
+                except AspenEvalError as exc:
+                    if not lenient:
+                        raise
+                    sink.error(
+                        "ASP211",
+                        f"model {decl.name!r}: param {param.name!r}: {exc}",
+                        span=SourceSpan(param.line, 0),
+                    )
         env = env2
 
-    data = {d.name: _build_data(d, env, decl.name) for d in decl.data}
-    kernels = {k.name: _build_kernel(k, env, decl.name) for k in decl.kernels}
+    data: dict[str, DataModel] = {}
+    for d in decl.data:
+        built = _build_data(d, env, decl.name, sink)
+        if built is not None:
+            data[d.name] = built
+    kernels: dict[str, KernelModel] = {}
+    for k in decl.kernels:
+        try:
+            kernels[k.name] = _build_kernel(k, env, decl.name)
+        except (AspenSemanticError, AspenEvalError) as exc:
+            if not lenient:
+                raise
+            sink.error(
+                "ASP206",
+                f"kernel {k.name!r} dropped: {exc}",
+                span=SourceSpan(k.line, 0),
+            )
     return AppModel(name=decl.name, params=dict(env), data=data, kernels=kernels)
 
 
-def _build_data(decl: DataDecl, env: dict[str, float], model: str) -> DataModel:
+def _build_data(
+    decl: DataDecl,
+    env: dict[str, float],
+    model: str,
+    sink: DiagnosticSink | None = None,
+) -> DataModel | None:
+    lenient = sink is not None
+    span = SourceSpan(decl.line, 0)
     props = decl.properties
-    if "elements" not in props:
-        raise AspenSemanticError(
-            f"model {model!r}: data {decl.name!r} missing 'elements'"
+    for key in ("elements", "element_size"):
+        if key not in props:
+            message = f"model {model!r}: data {decl.name!r} missing {key!r}"
+            if not lenient:
+                raise AspenSemanticError(message)
+            sink.error("ASP201", message, span=span, structure=decl.name)
+            return None
+    try:
+        num_elements = evaluate_int(
+            props["elements"], env, f"{decl.name}.elements"
         )
-    if "element_size" not in props:
-        raise AspenSemanticError(
-            f"model {model!r}: data {decl.name!r} missing 'element_size'"
+        element_size = evaluate_int(
+            props["element_size"], env, f"{decl.name}.element_size"
         )
-    num_elements = evaluate_int(props["elements"], env, f"{decl.name}.elements")
-    element_size = evaluate_int(
-        props["element_size"], env, f"{decl.name}.element_size"
-    )
+    except (AspenEvalError, AspenSemanticError) as exc:
+        if not lenient:
+            raise
+        sink.error(
+            "ASP211",
+            f"model {model!r}: data {decl.name!r} cannot be sized: {exc}",
+            span=span,
+            structure=decl.name,
+        )
+        return None
     if num_elements < 1 or element_size < 1:
-        raise AspenSemanticError(
+        message = (
             f"model {model!r}: data {decl.name!r} must have positive "
             f"elements and element_size"
         )
-    dims = tuple(evaluate_int(d, env, f"{decl.name}.dims") for d in decl.dims)
-    if dims and int(np.prod(dims)) != num_elements:
-        raise AspenSemanticError(
-            f"model {model!r}: data {decl.name!r} dims {dims} do not multiply "
-            f"to elements={num_elements}"
+        if not lenient:
+            raise AspenSemanticError(message)
+        sink.error("ASP202", message, span=span, structure=decl.name)
+        return None
+    try:
+        dims = tuple(
+            evaluate_int(d, env, f"{decl.name}.dims") for d in decl.dims
         )
-    pattern = (
-        _build_pattern(decl.pattern, env, dims, decl.name, model)
-        if decl.pattern is not None
-        else None
-    )
+        if dims and int(np.prod(dims)) != num_elements:
+            raise AspenSemanticError(
+                f"model {model!r}: data {decl.name!r} dims {dims} do not "
+                f"multiply to elements={num_elements}"
+            )
+    except (AspenEvalError, AspenSemanticError) as exc:
+        if not lenient:
+            raise
+        sink.error("ASP203", str(exc), span=span, structure=decl.name)
+        dims = ()
+    pattern: PatternSpec | None = None
+    pattern_invalid = False
+    if decl.pattern is not None:
+        try:
+            pattern = _build_pattern(decl.pattern, env, dims, decl.name, model)
+        except (AspenEvalError, AspenSemanticError) as exc:
+            if not lenient:
+                raise
+            code = "ASP204" if "unknown pattern kind" in str(exc) else "ASP205"
+            sink.error(code, str(exc), span=span, structure=decl.name)
+            pattern_invalid = True
     return DataModel(
         name=decl.name,
         num_elements=num_elements,
         element_size=element_size,
         dims=dims,
         pattern=pattern,
+        pattern_invalid=pattern_invalid,
     )
 
 

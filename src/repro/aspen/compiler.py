@@ -5,13 +5,28 @@ information (data structures, access patterns, templates, access order)
 plus hardware information (cache geometry, FIT) go through the extended
 Aspen compiler, producing the number of main-memory accesses per data
 structure and, combined with the execution-time model, DVF.
+
+Two evaluation modes are supported (see ``repro.diagnostics``):
+
+``strict``
+    The first semantic or estimator error raises — exactly the
+    historical behavior.
+
+``lenient``
+    Errors become coded diagnostics in a :class:`DiagnosticSink`;
+    structures whose pattern cannot be built or evaluated degrade to the
+    documented worst-case bound ``N_ha = T*AE``
+    (:class:`~repro.patterns.base.WorstCaseAccess`) and are reported as
+    *degraded*, so a batch over many models always completes.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import cached_property
 
-from repro.aspen.analysis import require_valid
+from repro.aspen.analysis import require_valid, validate
 from repro.aspen.appmodel import (
     AppModel,
     DataModel,
@@ -19,10 +34,11 @@ from repro.aspen.appmodel import (
     PatternSpec,
     build_app_model,
 )
-from repro.aspen.errors import AspenSemanticError
+from repro.aspen.errors import AspenSemanticError, DiagnosticSink
 from repro.aspen.machine import MachineModel
-from repro.aspen.parser import parse
-from repro.patterns.base import AccessPattern
+from repro.aspen.parser import parse, parse_with_diagnostics
+from repro.diagnostics import check_mode
+from repro.patterns.base import AccessPattern, PatternError, WorstCaseAccess
 from repro.patterns.composite import CompositeAccessModel, parse_order
 from repro.patterns.random_access import RandomAccess
 from repro.patterns.reuse import ReuseAccess
@@ -71,6 +87,54 @@ def build_pattern(data: DataModel, spec: PatternSpec) -> AccessPattern:
     raise AspenSemanticError(f"unknown pattern kind {spec.kind!r}")
 
 
+def _worst_case_references(data: DataModel, spec: PatternSpec | None) -> float:
+    """A generous but finite reference count ``T`` for the degraded bound.
+
+    Pulls whatever usable numbers the (broken) pattern declaration
+    offers; anything missing or nonsensical falls back pessimistically,
+    with one full traversal of the structure as the floor.
+    """
+    n = float(data.num_elements)
+    if spec is None:
+        return n
+    props = spec.properties
+
+    def _pos(key: str, default: float) -> float:
+        try:
+            value = float(props[key])
+        except (KeyError, TypeError, ValueError):
+            return default
+        if not math.isfinite(value) or value <= 0:
+            return default
+        return value
+
+    if spec.kind == "streaming":
+        return n * _pos("sweeps", 1.0)
+    if spec.kind == "random":
+        return n + _pos("iterations", 1.0) * min(_pos("distinct", n), n)
+    if spec.kind == "reuse":
+        return n * (1.0 + _pos("reuses", 1.0))
+    if spec.kind == "template":
+        refs = float(len(spec.refs))
+        for sweep in spec.sweeps:
+            try:
+                groups = (sweep.end[0] - sweep.start[0]) // max(sweep.step, 1) + 1
+            except IndexError:
+                groups = 1
+            refs += max(groups, 1) * len(sweep.start)
+        return max(refs * _pos("repeats", 1.0), n)
+    return n
+
+
+def degraded_pattern(data: DataModel) -> WorstCaseAccess:
+    """Worst-case stand-in for a structure with an unusable estimator."""
+    return WorstCaseAccess(
+        num_elements=data.num_elements,
+        element_size=data.element_size,
+        total_references=_worst_case_references(data, data.pattern),
+    )
+
+
 def composite_base_pattern(data: DataModel, spec: PatternSpec) -> AccessPattern:
     """Base (first-use) pattern for a structure inside an access order.
 
@@ -92,7 +156,10 @@ class CompiledModel:
 
     Produced by :func:`compile_model`; exposes the two quantities DVF
     needs (``N_ha`` per structure and the execution time) plus the raw
-    pattern objects for inspection.
+    pattern objects for inspection.  In ``lenient`` mode ``degraded``
+    names the structures replaced by the worst-case bound at compile
+    time, ``sink`` carries every diagnostic, and estimates are routed
+    through the guardrail layer (clamping and runtime degradation).
     """
 
     app: AppModel
@@ -100,10 +167,58 @@ class CompiledModel:
     kernel: KernelModel
     patterns: dict[str, AccessPattern]
     composite: CompositeAccessModel | None
+    mode: str = "strict"
+    degraded: frozenset[str] = frozenset()
+    sink: DiagnosticSink | None = None
 
     # ------------------------------------------------------------------
+    @cached_property
+    def _nha_checked(self) -> tuple[dict[str, float], frozenset[str]]:
+        """Guarded estimates and the full set of degraded structures."""
+        cache = self.machine.cache
+        degraded = set(self.degraded)
+        out: dict[str, float] = {}
+        composite_values: dict[str, float] = {}
+        if self.composite is not None:
+            try:
+                composite_values = self.composite.estimate_by_structure(cache)
+            except (PatternError, ArithmeticError, ValueError) as exc:
+                if self.sink is not None:
+                    self.sink.error(
+                        "ASP304",
+                        f"composite access-order estimate failed ({exc}); "
+                        f"falling back to per-structure estimates",
+                    )
+                composite_values = {}
+        for name, pattern in self.patterns.items():
+            value = composite_values.get(name)
+            if value is not None and math.isfinite(value):
+                # Composite interleaving can exceed a structure's
+                # standalone ceiling, so only the physical floor applies.
+                lo = float(pattern.min_accesses(cache))
+                if value < lo:
+                    value = lo
+                out[name] = value
+                continue
+            if value is not None and self.sink is not None:
+                self.sink.warning(
+                    "ASP303",
+                    f"composite estimate for {name!r} is non-finite "
+                    f"({value!r}); degraded to the worst-case bound",
+                    structure=name,
+                )
+            checked, was_degraded = pattern.estimate_accesses_checked(
+                cache, sink=self.sink, structure=name, mode="lenient"
+            )
+            out[name] = checked
+            if was_degraded or (value is not None and not math.isfinite(value)):
+                degraded.add(name)
+        return out, frozenset(degraded)
+
     def nha_by_structure(self) -> dict[str, float]:
         """Expected main-memory accesses per data structure."""
+        if self.mode == "lenient":
+            return dict(self._nha_checked[0])
         if self.composite is not None:
             out = self.composite.estimate_by_structure(self.machine.cache)
             # Structures outside the access order still contribute.
@@ -115,6 +230,12 @@ class CompiledModel:
             name: pattern.estimate_accesses(self.machine.cache)
             for name, pattern in self.patterns.items()
         }
+
+    def degraded_structures(self) -> frozenset[str]:
+        """Structures whose ``N_ha`` is the worst-case degradation bound."""
+        if self.mode == "lenient":
+            return self._nha_checked[1]
+        return frozenset(self.degraded)
 
     def nha_total(self) -> float:
         """Total expected main-memory accesses."""
@@ -158,33 +279,117 @@ def compile_model(
     app: AppModel,
     machine: MachineModel,
     kernel: str | None = None,
+    mode: str = "strict",
+    sink: DiagnosticSink | None = None,
 ) -> CompiledModel:
-    """Lower an evaluated app model against a machine."""
-    require_valid(app, machine)
-    kernel_model = app.kernel(kernel)
-    patterns: dict[str, AccessPattern] = {}
+    """Lower an evaluated app model against a machine.
+
+    ``mode="strict"`` raises on the first invalid structure (historical
+    behavior).  ``mode="lenient"`` records diagnostics in ``sink``
+    (created if omitted), swaps unusable patterns for the worst-case
+    bound and keeps going; only model-level failures with nothing left
+    to evaluate (no usable kernel) still raise.
+    """
+    check_mode(mode)
+    if mode == "strict":
+        require_valid(app, machine)
+        kernel_model = app.kernel(kernel)
+        patterns: dict[str, AccessPattern] = {}
+        for name, data in app.data.items():
+            if data.pattern is not None:
+                patterns[name] = build_pattern(data, data.pattern)
+        composite = None
+        if kernel_model.order is not None:
+            events = parse_order(kernel_model.order)
+            names = {n for event in events for n in event}
+            base = {
+                name: composite_base_pattern(
+                    app.data[name], app.data[name].pattern
+                )
+                for name in names
+            }
+            composite = CompositeAccessModel(
+                patterns=base,
+                order=events,
+                iterations=kernel_model.iterations,
+            )
+        return CompiledModel(
+            app=app,
+            machine=machine,
+            kernel=kernel_model,
+            patterns=patterns,
+            composite=composite,
+        )
+
+    sink = sink if sink is not None else DiagnosticSink()
+    # Advisory pass: record every validation finding, but drive the
+    # actual degradation decisions structurally below.
+    sink.extend(validate(app, machine))
+    kernel_model = app.kernel(kernel)  # no kernel at all is fatal
+    patterns = {}
+    degraded: set[str] = set()
     for name, data in app.data.items():
-        if data.pattern is not None:
+        if data.pattern_invalid:
+            patterns[name] = degraded_pattern(data)
+            degraded.add(name)
+            continue
+        if data.pattern is None:
+            continue
+        try:
             patterns[name] = build_pattern(data, data.pattern)
+        except (PatternError, AspenSemanticError, ArithmeticError,
+                KeyError, TypeError, ValueError) as exc:
+            fallback = degraded_pattern(data)
+            worst = fallback.total_references
+            sink.error(
+                "ASP304",
+                f"pattern for {name!r} could not be built ({exc}); degraded "
+                f"to the worst-case bound N_ha = T*AE with T = {worst:g}",
+                structure=name,
+                hint="fix the pattern declaration to restore the "
+                "analytical estimate",
+            )
+            patterns[name] = fallback
+            degraded.add(name)
     composite = None
     if kernel_model.order is not None:
-        events = parse_order(kernel_model.order)
-        names = {n for event in events for n in event}
-        base = {
-            name: composite_base_pattern(app.data[name], app.data[name].pattern)
-            for name in names
-        }
-        composite = CompositeAccessModel(
-            patterns=base,
-            order=events,
-            iterations=kernel_model.iterations,
-        )
+        try:
+            events = parse_order(kernel_model.order)
+            names = {n for event in events for n in event}
+            base = {}
+            for name in names:
+                data = app.data.get(name)
+                if data is None:
+                    raise AspenSemanticError(
+                        f"access order references undeclared data {name!r}"
+                    )
+                if name in degraded or data.pattern is None:
+                    base[name] = patterns.get(name, degraded_pattern(data))
+                else:
+                    base[name] = composite_base_pattern(data, data.pattern)
+            composite = CompositeAccessModel(
+                patterns=base,
+                order=events,
+                iterations=kernel_model.iterations,
+            )
+        except (PatternError, AspenSemanticError) as exc:
+            sink.error(
+                "ASP212",
+                f"kernel {kernel_model.name!r}: invalid access order "
+                f"({exc}); composite model dropped, structures are "
+                f"estimated independently",
+                structure=None,
+            )
+            composite = None
     return CompiledModel(
         app=app,
         machine=machine,
         kernel=kernel_model,
         patterns=patterns,
         composite=composite,
+        mode="lenient",
+        degraded=frozenset(degraded),
+        sink=sink,
     )
 
 
@@ -194,6 +399,8 @@ def compile_source(
     machine: str | MachineModel | None = None,
     kernel: str | None = None,
     params: dict[str, float] | None = None,
+    mode: str = "strict",
+    sink: DiagnosticSink | None = None,
 ) -> CompiledModel:
     """Parse, evaluate and lower Aspen source in one step.
 
@@ -207,11 +414,24 @@ def compile_source(
         when the source declares exactly one.
     params:
         Model parameter overrides (e.g. ``{"n": 800}``).
+    mode:
+        ``"strict"`` (default) raises on the first error; ``"lenient"``
+        recovers, records coded diagnostics in ``sink`` and degrades
+        broken structures to the worst-case bound.
+    sink:
+        Diagnostic collector for lenient mode; created when omitted and
+        available afterwards as ``CompiledModel.sink``.
     """
-    program = parse(source)
-    app = build_app_model(program.model(model), overrides=params)
+    check_mode(mode)
+    if mode == "strict":
+        program = parse(source)
+        app = build_app_model(program.model(model), overrides=params)
+    else:
+        sink = sink if sink is not None else DiagnosticSink()
+        program, sink = parse_with_diagnostics(source, sink)
+        app = build_app_model(program.model(model), overrides=params, sink=sink)
     if isinstance(machine, MachineModel):
         machine_model = machine
     else:
         machine_model = MachineModel.from_decl(program.machine(machine))
-    return compile_model(app, machine_model, kernel=kernel)
+    return compile_model(app, machine_model, kernel=kernel, mode=mode, sink=sink)

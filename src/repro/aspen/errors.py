@@ -1,6 +1,19 @@
-"""Error types for the Aspen DSL with source-position reporting."""
+"""Error types for the Aspen DSL with source-position reporting.
+
+The structured-diagnostics engine (:class:`Diagnostic`,
+:class:`DiagnosticSink`, :class:`SourceSpan`) lives in
+:mod:`repro.diagnostics` so the core evaluation layer can share it; it
+is re-exported here because the Aspen front-end is its primary producer.
+"""
 
 from __future__ import annotations
+
+from repro.diagnostics import (  # noqa: F401  (re-exported API)
+    Diagnostic,
+    DiagnosticSink,
+    SourceSpan,
+    render_diagnostics,
+)
 
 
 class AspenError(Exception):
@@ -8,14 +21,44 @@ class AspenError(Exception):
 
 
 class AspenSyntaxError(AspenError):
-    """Lexing or parsing failure, carrying the offending source position."""
+    """Lexing or parsing failure, carrying the offending source span.
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    The span is always carried and exposed programmatically via
+    :attr:`span` (``line``/``column`` are kept as plain attributes for
+    backward compatibility); the message is prefixed with the position
+    whenever any of it is known — a known column is not dropped just
+    because the line is unknown.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        *,
+        code: str = "ASP101",
+        hint: str | None = None,
+    ):
         self.line = line
         self.column = column
-        if line:
-            message = f"line {line}, column {column}: {message}"
+        self.span = SourceSpan(line, column)
+        self.code = code
+        self.hint = hint
+        if self.span.known:
+            message = f"{self.span}: {message}"
         super().__init__(message)
+
+    @classmethod
+    def from_diagnostic(cls, diagnostic: Diagnostic) -> "AspenSyntaxError":
+        """Build the strict-mode exception for one diagnostic."""
+        span = diagnostic.span or SourceSpan()
+        return cls(
+            diagnostic.message,
+            span.line,
+            span.column,
+            code=diagnostic.code,
+            hint=diagnostic.hint,
+        )
 
 
 class AspenSemanticError(AspenError):

@@ -5,16 +5,33 @@ access-order specifications), decimal/scientific numbers, identifiers
 and the punctuation of :mod:`repro.aspen.tokens`.  Newlines are emitted
 as tokens because they terminate property declarations (commas work as
 an alternative separator).
+
+With a :class:`~repro.diagnostics.DiagnosticSink` the lexer *recovers*
+from lexical errors instead of raising: an unexpected character is
+reported (``ASP001``) and skipped, an unterminated string (``ASP002``)
+is closed at the end of the line, and lexing continues so one pass
+reports every lexical problem in the source.
 """
 
 from __future__ import annotations
 
-from repro.aspen.errors import AspenSyntaxError
+from repro.aspen.errors import AspenSyntaxError, DiagnosticSink, SourceSpan
 from repro.aspen.tokens import KEYWORDS, PUNCTUATION, Token, TokenType
 
 
-def tokenize(source: str) -> list[Token]:
-    """Lex ``source`` into a token list ending with an EOF token."""
+def tokenize(source: str, sink: DiagnosticSink | None = None) -> list[Token]:
+    """Lex ``source`` into a token list ending with an EOF token.
+
+    Without a ``sink`` the first lexical error raises
+    :class:`AspenSyntaxError` (strict mode).  With a ``sink``, errors
+    are recorded as diagnostics and lexing continues past them.
+    """
+
+    def report(code: str, message: str, line: int, col: int, hint: str | None = None):
+        if sink is None:
+            raise AspenSyntaxError(message, line, col, code=code, hint=hint)
+        sink.error(code, message, SourceSpan(line, col), hint=hint)
+
     tokens: list[Token] = []
     line = 1
     col = 1
@@ -50,20 +67,23 @@ def tokenize(source: str) -> list[Token]:
             i += 1
             col += 1
             chars: list[str] = []
-            while i < n and source[i] != '"':
-                if source[i] == "\n":
-                    raise AspenSyntaxError(
-                        "unterminated string literal", start_line, start_col
-                    )
+            while i < n and source[i] not in ('"', "\n"):
                 chars.append(source[i])
                 i += 1
                 col += 1
-            if i >= n:
-                raise AspenSyntaxError(
-                    "unterminated string literal", start_line, start_col
+            if i >= n or source[i] == "\n":
+                report(
+                    "ASP002",
+                    "unterminated string literal",
+                    start_line,
+                    start_col,
+                    hint='close the string with `"` before the end of the line',
                 )
-            i += 1  # closing quote
-            col += 1
+                # Recovery: treat the collected characters as the string
+                # and resume at the newline / EOF.
+            else:
+                i += 1  # closing quote
+                col += 1
             tokens.append(
                 Token(TokenType.STRING, "".join(chars), start_line, start_col)
             )
@@ -117,6 +137,8 @@ def tokenize(source: str) -> list[Token]:
             i += 1
             col += 1
             continue
-        raise AspenSyntaxError(f"unexpected character {ch!r}", line, col)
+        report("ASP001", f"unexpected character {ch!r}", line, col)
+        i += 1  # recovery: skip the offending character
+        col += 1
     tokens.append(Token(TokenType.EOF, "", line, col))
     return tokens

@@ -1,4 +1,4 @@
-"""Recursive-descent parser for the Aspen DSL.
+"""Recursive-descent parser for the Aspen DSL with panic-mode recovery.
 
 Grammar (EBNF, newline/comma both separate properties)::
 
@@ -27,6 +27,20 @@ Grammar (EBNF, newline/comma both separate properties)::
 Notable: ``refs``/``start``/``end`` groups contain multi-dimensional
 element references like ``R[2, 1, 1]`` (0-based, row-major over the
 data declaration's ``dims``).
+
+Error handling
+--------------
+
+Every syntax problem is recorded as a coded
+:class:`~repro.diagnostics.Diagnostic` in a
+:class:`~repro.diagnostics.DiagnosticSink`, after which the parser
+*synchronizes* — it skips tokens until a statement boundary (newline,
+closing brace, or a declaration keyword like ``data`` / ``kernel`` /
+``machine``) and resumes — so a single pass reports *all* syntax errors
+in the source, not just the first.  :func:`parse` keeps the historical
+strict contract (raise :class:`AspenSyntaxError` for the first error);
+:func:`parse_with_diagnostics` exposes the fail-soft path, returning the
+partial :class:`Program` together with the sink.
 """
 
 from __future__ import annotations
@@ -42,18 +56,35 @@ from repro.aspen.ast import (
     Program,
     SweepDecl,
 )
-from repro.aspen.errors import AspenSyntaxError
+from repro.aspen.errors import (
+    AspenSyntaxError,
+    DiagnosticSink,
+    SourceSpan,
+)
 from repro.aspen.expr import BinOp, Call, Expr, Num, Unary, Var
 from repro.aspen.lexer import tokenize
 from repro.aspen.tokens import Token, TokenType
 
 _T = TokenType
 
+#: Keywords that open a top-level declaration.
+_TOP_KEYWORDS = ("model", "machine")
+#: Keywords that open an item inside a model body.
+_MODEL_ITEM_KEYWORDS = ("param", "data", "kernel")
+
+
+class _ParsePanic(Exception):
+    """Internal control flow: unwind to the nearest recovery point."""
+
 
 class _Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token], sink: DiagnosticSink | None = None):
         self.tokens = tokens
         self.pos = 0
+        # Without an external sink the parser is strict: the first error
+        # raises instead of entering panic-mode recovery.
+        self.strict = sink is None
+        self.sink = DiagnosticSink() if sink is None else sink
 
     # -- token helpers -------------------------------------------------
     def peek(self) -> Token:
@@ -69,22 +100,109 @@ class _Parser:
         token = self.peek()
         return token.type is ttype and (value is None or token.value == value)
 
+    def at_keyword(self, *values: str) -> bool:
+        token = self.peek()
+        return token.type is _T.KEYWORD and token.value in values
+
     def match(self, ttype: TokenType, value: str | None = None) -> Token | None:
         if self.check(ttype, value):
             return self.advance()
         return None
 
-    def expect(self, ttype: TokenType, what: str, value: str | None = None) -> Token:
+    def expect(
+        self,
+        ttype: TokenType,
+        what: str,
+        value: str | None = None,
+        code: str = "ASP101",
+    ) -> Token:
         token = self.peek()
         if token.type is ttype and (value is None or token.value == value):
             return self.advance()
-        raise AspenSyntaxError(
-            f"expected {what}, found {token.value!r}", token.line, token.column
-        )
+        self.panic(code, f"expected {what}, found {token.value!r}", token)
 
     def skip_newlines(self) -> None:
         while self.match(_T.NEWLINE) or self.match(_T.COMMA):
             pass
+
+    # -- diagnostics and recovery --------------------------------------
+    def report(
+        self, code: str, message: str, token: Token, hint: str | None = None
+    ) -> None:
+        """Record a diagnostic without unwinding (recoverable in place)."""
+        if self.strict:
+            raise AspenSyntaxError(
+                message, token.line, token.column, code=code, hint=hint
+            )
+        self.sink.error(
+            code, message, SourceSpan(token.line, token.column), hint=hint
+        )
+
+    def panic(
+        self, code: str, message: str, token: Token, hint: str | None = None
+    ):
+        """Record a diagnostic and unwind to the nearest recovery point."""
+        if self.strict:
+            raise AspenSyntaxError(
+                message, token.line, token.column, code=code, hint=hint
+            )
+        self.report(code, message, token, hint=hint)
+        raise _ParsePanic()
+
+    def synchronize_statement(self) -> None:
+        """Panic-mode recovery inside a block: resume at the next boundary.
+
+        Skips tokens (stepping over balanced nested braces) until a
+        newline separator, a closing brace of the current block, any
+        declaration keyword, or EOF.
+        """
+        depth = 0
+        while not self.check(_T.EOF):
+            token = self.peek()
+            if depth == 0:
+                if token.type in (_T.NEWLINE, _T.COMMA):
+                    self.advance()
+                    return
+                if token.type is _T.RBRACE:
+                    return
+                if token.type is _T.KEYWORD:
+                    return
+            if token.type is _T.LBRACE:
+                depth += 1
+            elif token.type is _T.RBRACE:
+                depth -= 1
+            self.advance()
+
+    def synchronize_top(self) -> None:
+        """Panic-mode recovery at program level: resume at model/machine."""
+        depth = 0
+        while not self.check(_T.EOF):
+            token = self.peek()
+            if depth == 0 and token.type is _T.KEYWORD and (
+                token.value in _TOP_KEYWORDS
+            ):
+                return
+            if token.type is _T.LBRACE:
+                depth += 1
+            elif token.type is _T.RBRACE:
+                depth = max(depth - 1, 0)
+            self.advance()
+
+    def at_block_end(self, *outer_keywords: str) -> bool:
+        """True at a block close or a keyword belonging to an outer scope."""
+        if self.check(_T.RBRACE) or self.check(_T.EOF):
+            return True
+        return self.at_keyword(*outer_keywords) if outer_keywords else False
+
+    def close_block(self, what: str) -> None:
+        """Consume the closing '}' of a block, reporting (not raising) if absent."""
+        if self.match(_T.RBRACE) is None:
+            token = self.peek()
+            self.report(
+                "ASP101",
+                f"expected '}}' to close {what}, found {token.value!r}",
+                token,
+            )
 
     # -- program ---------------------------------------------------------
     def parse_program(self) -> Program:
@@ -92,17 +210,20 @@ class _Parser:
         machines: list[MachineDecl] = []
         self.skip_newlines()
         while not self.check(_T.EOF):
-            if self.check(_T.KEYWORD, "model"):
-                models.append(self.parse_model())
-            elif self.check(_T.KEYWORD, "machine"):
-                machines.append(self.parse_machine())
-            else:
-                token = self.peek()
-                raise AspenSyntaxError(
-                    f"expected 'model' or 'machine', found {token.value!r}",
-                    token.line,
-                    token.column,
-                )
+            try:
+                if self.check(_T.KEYWORD, "model"):
+                    models.append(self.parse_model())
+                elif self.check(_T.KEYWORD, "machine"):
+                    machines.append(self.parse_machine())
+                else:
+                    token = self.peek()
+                    self.panic(
+                        "ASP102",
+                        f"expected 'model' or 'machine', found {token.value!r}",
+                        token,
+                    )
+            except _ParsePanic:
+                self.synchronize_top()
             self.skip_newlines()
         return Program(models=tuple(models), machines=tuple(machines))
 
@@ -115,22 +236,26 @@ class _Parser:
         data: list[DataDecl] = []
         kernels: list[KernelDecl] = []
         self.skip_newlines()
-        while not self.check(_T.RBRACE):
-            if self.check(_T.KEYWORD, "param"):
-                params.append(self.parse_param())
-            elif self.check(_T.KEYWORD, "data"):
-                data.append(self.parse_data())
-            elif self.check(_T.KEYWORD, "kernel"):
-                kernels.append(self.parse_kernel())
-            else:
-                token = self.peek()
-                raise AspenSyntaxError(
-                    f"expected 'param', 'data' or 'kernel', found {token.value!r}",
-                    token.line,
-                    token.column,
-                )
+        while not self.at_block_end(*_TOP_KEYWORDS):
+            try:
+                if self.check(_T.KEYWORD, "param"):
+                    params.append(self.parse_param())
+                elif self.check(_T.KEYWORD, "data"):
+                    data.append(self.parse_data())
+                elif self.check(_T.KEYWORD, "kernel"):
+                    kernels.append(self.parse_kernel())
+                else:
+                    token = self.peek()
+                    self.panic(
+                        "ASP103",
+                        f"expected 'param', 'data' or 'kernel', "
+                        f"found {token.value!r}",
+                        token,
+                    )
+            except _ParsePanic:
+                self.synchronize_statement()
             self.skip_newlines()
-        self.expect(_T.RBRACE, "'}'")
+        self.close_block(f"model {name!r}")
         return ModelDecl(
             name=name,
             params=tuple(params),
@@ -155,25 +280,32 @@ class _Parser:
         dims: tuple[Expr, ...] = ()
         pattern: PatternDecl | None = None
         self.skip_newlines()
-        while not self.check(_T.RBRACE):
-            if self.check(_T.KEYWORD, "pattern"):
-                if pattern is not None:
-                    token = self.peek()
-                    raise AspenSyntaxError(
-                        f"data {name!r} declares multiple patterns",
-                        token.line,
-                        token.column,
-                    )
-                pattern = self.parse_pattern()
-            else:
-                prop = self.expect(_T.IDENT, "property name").value
-                self.expect(_T.COLON, "':'")
-                if prop == "dims":
-                    dims = tuple(self.parse_expr_group())
+        while not self.at_block_end(*_MODEL_ITEM_KEYWORDS, *_TOP_KEYWORDS):
+            try:
+                if self.check(_T.KEYWORD, "pattern"):
+                    if pattern is not None:
+                        token = self.peek()
+                        self.report(
+                            "ASP104",
+                            f"data {name!r} declares multiple patterns",
+                            token,
+                            hint="a data structure takes exactly one "
+                            "'pattern' block; remove the extras",
+                        )
+                        self.parse_pattern()  # parse and discard
+                    else:
+                        pattern = self.parse_pattern()
                 else:
-                    properties[prop] = self.parse_expr()
+                    prop = self.expect(_T.IDENT, "property name").value
+                    self.expect(_T.COLON, "':'")
+                    if prop == "dims":
+                        dims = tuple(self.parse_expr_group())
+                    else:
+                        properties[prop] = self.parse_expr()
+            except _ParsePanic:
+                self.synchronize_statement()
             self.skip_newlines()
-        self.expect(_T.RBRACE, "'}'")
+        self.close_block(f"data {name!r}")
         return DataDecl(
             name=name,
             properties=properties,
@@ -190,18 +322,21 @@ class _Parser:
         refs: list[IndexRef] = []
         if self.match(_T.LBRACE):
             self.skip_newlines()
-            while not self.check(_T.RBRACE):
-                if self.check(_T.KEYWORD, "sweep"):
-                    sweeps.append(self.parse_sweep())
-                else:
-                    prop = self.expect(_T.IDENT, "property name").value
-                    self.expect(_T.COLON, "':'")
-                    if prop == "refs":
-                        refs.extend(self.parse_indexref_group())
+            while not self.at_block_end(*_MODEL_ITEM_KEYWORDS, *_TOP_KEYWORDS):
+                try:
+                    if self.check(_T.KEYWORD, "sweep"):
+                        sweeps.append(self.parse_sweep())
                     else:
-                        properties[prop] = self.parse_expr()
+                        prop = self.expect(_T.IDENT, "property name").value
+                        self.expect(_T.COLON, "':'")
+                        if prop == "refs":
+                            refs.extend(self.parse_indexref_group())
+                        else:
+                            properties[prop] = self.parse_expr()
+                except _ParsePanic:
+                    self.synchronize_statement()
                 self.skip_newlines()
-            self.expect(_T.RBRACE, "'}'")
+            self.close_block(f"pattern {kind!r}")
         return PatternDecl(
             kind=kind,
             properties=properties,
@@ -217,29 +352,36 @@ class _Parser:
         end: tuple[IndexRef, ...] | None = None
         step: Expr | None = None
         self.skip_newlines()
-        while not self.check(_T.RBRACE):
-            prop = self.expect(_T.IDENT, "'start', 'step' or 'end'").value
-            self.expect(_T.COLON, "':'")
-            if prop == "start":
-                start = tuple(self.parse_indexref_group())
-            elif prop == "end":
-                end = tuple(self.parse_indexref_group())
-            elif prop == "step":
-                step = self.parse_expr()
-            else:
-                raise AspenSyntaxError(
-                    f"unknown sweep property {prop!r}",
-                    keyword.line,
-                    keyword.column,
-                )
+        while not self.at_block_end(*_MODEL_ITEM_KEYWORDS, *_TOP_KEYWORDS):
+            try:
+                prop_token = self.peek()
+                prop = self.expect(_T.IDENT, "'start', 'step' or 'end'").value
+                self.expect(_T.COLON, "':'")
+                if prop == "start":
+                    start = tuple(self.parse_indexref_group())
+                elif prop == "end":
+                    end = tuple(self.parse_indexref_group())
+                elif prop == "step":
+                    step = self.parse_expr()
+                else:
+                    self.panic(
+                        "ASP105",
+                        f"unknown sweep property {prop!r}",
+                        prop_token,
+                        hint="sweeps take 'start', 'step' and 'end'",
+                    )
+            except _ParsePanic:
+                self.synchronize_statement()
             self.skip_newlines()
-        self.expect(_T.RBRACE, "'}'")
+        self.close_block("sweep")
         if start is None or end is None:
-            raise AspenSyntaxError(
+            self.report(
+                "ASP106",
                 "sweep requires 'start' and 'end' groups",
-                keyword.line,
-                keyword.column,
+                Token(_T.KEYWORD, "sweep", keyword.line, keyword.column),
             )
+            start = start if start is not None else ()
+            end = end if end is not None else ()
         return SweepDecl(
             start=start,
             step=step if step is not None else Num(1.0),
@@ -286,15 +428,18 @@ class _Parser:
         properties: dict[str, Expr] = {}
         order: str | None = None
         self.skip_newlines()
-        while not self.check(_T.RBRACE):
-            prop = self.expect(_T.IDENT, "property name").value
-            self.expect(_T.COLON, "':'")
-            if prop == "order":
-                order = self.expect(_T.STRING, "order string").value
-            else:
-                properties[prop] = self.parse_expr()
+        while not self.at_block_end(*_MODEL_ITEM_KEYWORDS, *_TOP_KEYWORDS):
+            try:
+                prop = self.expect(_T.IDENT, "property name").value
+                self.expect(_T.COLON, "':'")
+                if prop == "order":
+                    order = self.expect(_T.STRING, "order string").value
+                else:
+                    properties[prop] = self.parse_expr()
+            except _ParsePanic:
+                self.synchronize_statement()
             self.skip_newlines()
-        self.expect(_T.RBRACE, "'}'")
+        self.close_block(f"kernel {name!r}")
         return KernelDecl(
             name=name, properties=properties, order=order, line=keyword.line
         )
@@ -307,30 +452,36 @@ class _Parser:
         sections: dict[str, dict[str, Expr]] = {}
         params: list[ParamDecl] = []
         self.skip_newlines()
-        while not self.check(_T.RBRACE):
-            if self.check(_T.KEYWORD, "param"):
-                params.append(self.parse_param())
+        while not self.at_block_end(*_TOP_KEYWORDS):
+            try:
+                if self.check(_T.KEYWORD, "param"):
+                    params.append(self.parse_param())
+                    self.skip_newlines()
+                    continue
+                section_token = self.peek()
+                section = self.expect(_T.IDENT, "section name").value
+                self.expect(_T.LBRACE, "'{'")
+                props: dict[str, Expr] = {}
                 self.skip_newlines()
-                continue
-            section = self.expect(_T.IDENT, "section name").value
-            self.expect(_T.LBRACE, "'{'")
-            props: dict[str, Expr] = {}
+                while not self.at_block_end(*_TOP_KEYWORDS):
+                    prop = self.expect(_T.IDENT, "property name").value
+                    self.expect(_T.COLON, "':'")
+                    props[prop] = self.parse_expr()
+                    self.skip_newlines()
+                self.close_block(f"section {section!r}")
+                if section in sections:
+                    self.report(
+                        "ASP107",
+                        f"machine {name!r} repeats section {section!r}",
+                        section_token,
+                        hint="merge the duplicate sections into one",
+                    )
+                else:
+                    sections[section] = props
+            except _ParsePanic:
+                self.synchronize_statement()
             self.skip_newlines()
-            while not self.check(_T.RBRACE):
-                prop = self.expect(_T.IDENT, "property name").value
-                self.expect(_T.COLON, "':'")
-                props[prop] = self.parse_expr()
-                self.skip_newlines()
-            self.expect(_T.RBRACE, "'}'")
-            if section in sections:
-                raise AspenSyntaxError(
-                    f"machine {name!r} repeats section {section!r}",
-                    keyword.line,
-                    keyword.column,
-                )
-            sections[section] = props
-            self.skip_newlines()
-        self.expect(_T.RBRACE, "'}'")
+        self.close_block(f"machine {name!r}")
         return MachineDecl(
             name=name, sections=sections, params=tuple(params), line=keyword.line
         )
@@ -396,13 +547,38 @@ class _Parser:
             expr = self.parse_expr()
             self.expect(_T.RPAREN, "')'")
             return expr
-        raise AspenSyntaxError(
+        self.panic(
+            "ASP108",
             f"expected an expression, found {token.value!r}",
-            token.line,
-            token.column,
+            token,
         )
 
 
+def parse_with_diagnostics(
+    source: str, sink: DiagnosticSink | None = None
+) -> tuple[Program, DiagnosticSink]:
+    """Parse with panic-mode recovery, reporting *all* errors in one pass.
+
+    Returns the (possibly partial) :class:`Program` together with the
+    sink holding every lexical and syntactic diagnostic.  Declarations
+    the parser could not repair are simply absent from the program; the
+    caller decides whether the collected errors are fatal.
+    """
+    if sink is None:
+        sink = DiagnosticSink()
+    tokens = tokenize(source, sink)
+    program = _Parser(tokens, sink).parse_program()
+    return program, sink
+
+
 def parse(source: str) -> Program:
-    """Parse Aspen DSL source text into a :class:`Program`."""
-    return _Parser(tokenize(source)).parse_program()
+    """Parse Aspen DSL source text into a :class:`Program` (strict).
+
+    The historical contract: the first lexical or syntax error raises
+    :class:`AspenSyntaxError` (built from the first diagnostic, so the
+    message and source span match the fail-soft path exactly).
+    """
+    program, sink = parse_with_diagnostics(source)
+    if sink.has_errors:
+        raise AspenSyntaxError.from_diagnostic(sink.errors[0])
+    return program

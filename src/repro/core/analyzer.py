@@ -23,6 +23,7 @@ from repro.cachesim.simulator import simulate_trace
 from repro.core.dvf import DVFReport, build_report
 from repro.core.fit import NO_ECC
 from repro.core.runtime import RooflineRuntime, RuntimeProvider
+from repro.diagnostics import DiagnosticSink, check_mode
 from repro.kernels.base import Kernel, Workload
 
 
@@ -73,11 +74,26 @@ class DVFAnalyzer:
         runtime: RuntimeProvider | None = None,
         alpha: float = 1.0,
         beta: float = 1.0,
+        mode: str = "strict",
+        sink: DiagnosticSink | None = None,
     ) -> DVFReport:
-        """Analytical DVF report (CGPMAC ``N_ha`` + roofline ``T``)."""
+        """Analytical DVF report (CGPMAC ``N_ha`` + roofline ``T``).
+
+        In ``lenient`` mode estimator failures degrade to the worst-case
+        bound instead of raising; the report carries the collected
+        diagnostics and flags degraded structures.
+        """
+        check_mode(mode)
         if runtime is None:
             runtime = self.runtime_provider(kernel, workload)
-        nha = kernel.estimate_nha(workload, self.config.geometry)
+        degraded: frozenset[str] = frozenset()
+        if mode == "lenient":
+            sink = sink if sink is not None else DiagnosticSink()
+            nha, degraded = kernel.estimate_nha_checked(
+                workload, self.config.geometry, sink
+            )
+        else:
+            nha = kernel.estimate_nha(workload, self.config.geometry)
         return build_report(
             application=kernel.name,
             machine=self.config.geometry.name or "machine",
@@ -90,6 +106,9 @@ class DVFAnalyzer:
             nha=nha,
             alpha=alpha,
             beta=beta,
+            degraded=degraded,
+            mode=mode,
+            sink=sink,
         )
 
     def analyze_simulated(

@@ -26,7 +26,10 @@ is available through the ``alpha``/``beta`` exponents of
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+from repro.diagnostics import Diagnostic, DiagnosticSink, check_mode
 
 _SECONDS_PER_HOUR = 3600.0
 _BITS_PER_MBIT = 2.0**20
@@ -39,12 +42,12 @@ def n_error(fit: float, time_seconds: float, size_bytes: float) -> float:
     ``N_error = FIT * T * S_d`` with unit conversion: FIT is per 10^9
     hours per Mbit, so seconds -> hours and bytes -> Mbit.
     """
-    if fit < 0:
-        raise ValueError(f"FIT must be >= 0, got {fit}")
-    if time_seconds < 0:
-        raise ValueError(f"time must be >= 0, got {time_seconds}")
-    if size_bytes < 0:
-        raise ValueError(f"size must be >= 0, got {size_bytes}")
+    if not math.isfinite(fit) or fit < 0:
+        raise ValueError(f"FIT must be finite and >= 0, got {fit}")
+    if not math.isfinite(time_seconds) or time_seconds < 0:
+        raise ValueError(f"time must be finite and >= 0, got {time_seconds}")
+    if not math.isfinite(size_bytes) or size_bytes < 0:
+        raise ValueError(f"size must be finite and >= 0, got {size_bytes}")
     hours = time_seconds / _SECONDS_PER_HOUR
     mbits = size_bytes * 8.0 / _BITS_PER_MBIT
     # FIT counts failures per 10^9 device-hours per Mbit.
@@ -74,21 +77,27 @@ def dvf_data(
     alpha, beta:
         Optional weighting exponents for the §III-A refinement.
     """
-    if nha < 0:
-        raise ValueError(f"N_ha must be >= 0, got {nha}")
+    if not math.isfinite(nha) or nha < 0:
+        raise ValueError(f"N_ha must be finite and >= 0, got {nha}")
     errors = n_error(fit, time_seconds, size_bytes)
     return (errors**alpha) * (nha**beta)
 
 
 @dataclass(frozen=True, slots=True)
 class StructureDVF:
-    """Per-data-structure DVF result with its ingredients."""
+    """Per-data-structure DVF result with its ingredients.
+
+    ``degraded`` marks a structure whose ``N_ha`` is the worst-case
+    degradation bound (or whose inputs were rejected) rather than the
+    analytical estimate; its DVF is an upper bound, not a prediction.
+    """
 
     name: str
     size_bytes: float
     nha: float
     n_error: float
     dvf: float
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -107,6 +116,10 @@ class DVFReport:
         Execution time ``T`` used.
     structures:
         Per-data-structure results, in declaration order.
+    diagnostics:
+        Coded :class:`~repro.diagnostics.Diagnostic` records collected
+        while producing the report (lenient evaluation); empty in a
+        clean strict run.
     """
 
     application: str
@@ -114,11 +127,39 @@ class DVFReport:
     fit: float
     time_seconds: float
     structures: tuple[StructureDVF, ...] = field(default_factory=tuple)
+    diagnostics: tuple[Diagnostic, ...] = ()
 
     @property
     def dvf_application(self) -> float:
         """``DVF_a``: sum over the major data structures (Eq. 2)."""
         return sum(s.dvf for s in self.structures)
+
+    @property
+    def degraded_structures(self) -> tuple[str, ...]:
+        """Names of structures carrying the worst-case degradation bound."""
+        return tuple(s.name for s in self.structures if s.degraded)
+
+    def to_payload(self) -> dict:
+        """Machine-readable report: rows, DVF_a and the diagnostics."""
+        return {
+            "application": self.application,
+            "machine": self.machine,
+            "fit": self.fit,
+            "time_seconds": self.time_seconds,
+            "dvf_application": self.dvf_application,
+            "structures": [
+                {
+                    "name": s.name,
+                    "size_bytes": s.size_bytes,
+                    "nha": s.nha,
+                    "n_error": s.n_error,
+                    "dvf": s.dvf,
+                    "degraded": s.degraded,
+                }
+                for s in self.structures
+            ],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
 
     def structure(self, name: str) -> StructureDVF:
         """Result row for one data structure."""
@@ -148,27 +189,59 @@ def build_report(
     nha: dict[str, float],
     alpha: float = 1.0,
     beta: float = 1.0,
+    degraded: set[str] | frozenset[str] | None = None,
+    mode: str = "strict",
+    sink: DiagnosticSink | None = None,
 ) -> DVFReport:
-    """Assemble a :class:`DVFReport` from per-structure sizes and N_ha."""
+    """Assemble a :class:`DVFReport` from per-structure sizes and N_ha.
+
+    ``degraded`` names structures whose ``N_ha`` is the worst-case
+    degradation bound; they are flagged in the rows.  In ``lenient``
+    mode a structure whose inputs are rejected (NaN/inf, negative) is
+    flagged degraded with a zero contribution and an ``ASP305``
+    diagnostic instead of raising, so ``DVF_a`` stays finite.
+    """
+    check_mode(mode)
     missing = set(nha) - set(sizes)
     if missing:
         raise ValueError(f"N_ha given for structures without sizes: {missing}")
-    rows = tuple(
-        StructureDVF(
-            name=name,
-            size_bytes=sizes[name],
-            nha=nha[name],
-            n_error=n_error(fit, time_seconds, sizes[name]),
-            dvf=dvf_data(
+    degraded = set(degraded or ())
+    if sink is None:
+        sink = DiagnosticSink()
+    rows = []
+    for name in nha:
+        try:
+            errors = n_error(fit, time_seconds, sizes[name])
+            dvf = dvf_data(
                 fit, time_seconds, sizes[name], nha[name], alpha=alpha, beta=beta
-            ),
+            )
+            row_nha = nha[name]
+        except ValueError as exc:
+            if mode == "strict":
+                raise
+            sink.error(
+                "ASP305",
+                f"DVF inputs for {name!r} rejected ({exc}); the structure "
+                f"contributes 0 to DVF_a and is flagged degraded",
+                structure=name,
+            )
+            errors, dvf, row_nha = 0.0, 0.0, 0.0
+            degraded.add(name)
+        rows.append(
+            StructureDVF(
+                name=name,
+                size_bytes=sizes[name],
+                nha=row_nha,
+                n_error=errors,
+                dvf=dvf,
+                degraded=name in degraded,
+            )
         )
-        for name in nha
-    )
     return DVFReport(
         application=application,
         machine=machine,
         fit=fit,
         time_seconds=time_seconds,
-        structures=rows,
+        structures=tuple(rows),
+        diagnostics=tuple(sink),
     )

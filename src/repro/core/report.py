@@ -43,10 +43,15 @@ def format_quantity(value: float) -> str:
 
 
 def render_dvf_report(report: DVFReport) -> str:
-    """One DVF report as a text table, most vulnerable structure first."""
+    """One DVF report as a text table, most vulnerable structure first.
+
+    Structures evaluated through the worst-case degradation bound are
+    marked with a trailing ``*`` and a footnote; collected diagnostics
+    are appended as their own section.
+    """
     rows = [
         (
-            s.name,
+            s.name + ("*" if s.degraded else ""),
             f"{s.size_bytes:.0f}",
             format_quantity(s.nha),
             format_quantity(s.n_error),
@@ -67,9 +72,26 @@ def render_dvf_report(report: DVFReport) -> str:
         f"DVF report: {report.application} on {report.machine} "
         f"(FIT={report.fit}/Mbit, T={report.time_seconds:.4g}s)\n"
     )
-    return header + format_table(
+    out = header + format_table(
         ["structure", "bytes", "N_ha", "N_error", "DVF"], rows
     )
+    if report.degraded_structures:
+        out += (
+            "\n* degraded: N_ha is the worst-case bound T*AE, not the "
+            "analytical estimate"
+        )
+    if report.diagnostics:
+        out += "\n" + render_report_diagnostics(report)
+    return out
+
+
+def render_report_diagnostics(report: DVFReport) -> str:
+    """The diagnostics section of a report, one line per record."""
+    if not report.diagnostics:
+        return "diagnostics: none"
+    lines = [f"diagnostics ({len(report.diagnostics)}):"]
+    lines.extend(f"  {d}" for d in report.diagnostics)
+    return "\n".join(lines)
 
 
 def render_comparison(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.cachesim.configs import CacheGeometry
 from repro.cachesim.simulator import simulate_trace
+from repro.diagnostics import DiagnosticSink, check_mode
 from repro.kernels.base import Kernel, Workload
 
 
@@ -63,11 +64,22 @@ class ValidationResult:
 
 
 def validate_kernel(
-    kernel: Kernel, workload: Workload, geometry: CacheGeometry
+    kernel: Kernel,
+    workload: Workload,
+    geometry: CacheGeometry,
+    mode: str = "strict",
+    sink: DiagnosticSink | None = None,
 ) -> ValidationResult:
-    """Run both evaluation paths and compare per data structure."""
+    """Run both evaluation paths and compare per data structure.
+
+    ``mode`` governs the *model* path only: in ``lenient`` mode
+    estimator failures degrade to the worst-case bound (recorded in
+    ``sink``) so a validation sweep completes.  The simulation path is
+    ground truth and always raises on failure.
+    """
+    check_mode(mode)
     start = time.perf_counter()
-    estimated = kernel.estimate_nha(workload, geometry)
+    estimated = kernel.estimate_nha(workload, geometry, mode=mode, sink=sink)
     model_seconds = time.perf_counter() - start
 
     start = time.perf_counter()

@@ -1,0 +1,146 @@
+"""Fail-soft batch DVF evaluation of Aspen sources.
+
+This is the user-facing end of the lenient pipeline: hand it any number
+of Aspen model sources and it returns one entry per model — a full
+:class:`~repro.core.dvf.DVFReport` (with degraded structures flagged and
+all coded diagnostics attached) whenever anything at all could be
+evaluated, or a failure entry carrying the diagnostics when even lenient
+compilation found nothing usable.  In ``strict`` mode the first error
+raises, exactly like the rest of the strict pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aspen.builtin import DSL_KERNELS, MACHINE_LIBRARY, builtin_source
+from repro.aspen.compiler import CompiledModel, compile_source
+from repro.aspen.errors import AspenError, Diagnostic, DiagnosticSink
+from repro.core.dvf import DVFReport, build_report
+from repro.core.report import render_dvf_report
+from repro.diagnostics import check_mode
+from repro.patterns.base import PatternError
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """Outcome of evaluating one Aspen model in a batch."""
+
+    label: str
+    report: DVFReport | None
+    error: str | None = None
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+    def to_payload(self) -> dict:
+        """Machine-readable entry (reports embed their own diagnostics)."""
+        if self.report is not None:
+            return {"label": self.label, "ok": True, **self.report.to_payload()}
+        return {
+            "label": self.label,
+            "ok": False,
+            "error": self.error,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def compiled_report(
+    compiled: CompiledModel, application: str | None = None
+) -> DVFReport:
+    """Assemble the DVF report for a compiled model, flags included."""
+    return build_report(
+        application=application or compiled.app.name,
+        machine=compiled.machine.name,
+        fit=compiled.machine.fit,
+        time_seconds=compiled.runtime_seconds(),
+        sizes={k: float(v) for k, v in compiled.data_sizes().items()},
+        nha=compiled.nha_by_structure(),
+        degraded=compiled.degraded_structures(),
+        mode=compiled.mode,
+        sink=compiled.sink,
+    )
+
+
+def evaluate_source(
+    label: str,
+    source: str,
+    machine: str | None = None,
+    mode: str = "strict",
+    params: dict[str, float] | None = None,
+) -> BatchEntry:
+    """Evaluate one Aspen source into a :class:`BatchEntry`.
+
+    Strict mode propagates the first error; lenient mode always returns
+    an entry — degraded report or diagnosed failure.
+    """
+    check_mode(mode)
+    sink = DiagnosticSink()
+    try:
+        compiled = compile_source(
+            source,
+            machine=machine,
+            params=params,
+            mode=mode,
+            sink=sink if mode == "lenient" else None,
+        )
+        report = compiled_report(compiled, application=label)
+    except (AspenError, PatternError, ValueError) as exc:
+        if mode == "strict":
+            raise
+        sink.error(
+            "ASP305",
+            f"model {label!r} could not be evaluated: {exc}",
+        )
+        return BatchEntry(
+            label=label, report=None, error=str(exc), diagnostics=tuple(sink)
+        )
+    return BatchEntry(
+        label=label, report=report, diagnostics=report.diagnostics
+    )
+
+
+def evaluate_batch(
+    sources: dict[str, str],
+    machine: str | None = None,
+    mode: str = "strict",
+) -> list[BatchEntry]:
+    """Evaluate every source; in lenient mode the batch always completes."""
+    return [
+        evaluate_source(label, source, machine=machine, mode=mode)
+        for label, source in sources.items()
+    ]
+
+
+def run_aspen_batch(
+    tier: str = "test", mode: str = "strict", machine: str = "small"
+) -> list[BatchEntry]:
+    """Evaluate every builtin DSL kernel against one machine."""
+    sources = {
+        kernel: builtin_source(kernel, tier) + MACHINE_LIBRARY
+        for kernel in DSL_KERNELS
+    }
+    return evaluate_batch(sources, machine=machine, mode=mode)
+
+
+def render_aspen_batch(entries: list[BatchEntry]) -> str:
+    """Text rendering of a batch: one report (or failure) per model."""
+    blocks = []
+    for entry in entries:
+        if entry.report is not None:
+            blocks.append(render_dvf_report(entry.report))
+        else:
+            lines = [f"DVF report: {entry.label} FAILED: {entry.error}"]
+            lines.extend(f"  {d}" for d in entry.diagnostics)
+            blocks.append("\n".join(lines))
+    failed = sum(1 for e in entries if not e.ok)
+    degraded = sum(
+        1 for e in entries if e.report and e.report.degraded_structures
+    )
+    blocks.append(
+        f"batch: {len(entries)} models, {failed} failed, "
+        f"{degraded} with degraded structures"
+    )
+    return "\n\n".join(blocks)

@@ -7,10 +7,16 @@ Usage::
     python -m repro.experiments fig6           # CG vs PCG
     python -m repro.experiments fig7           # ECC trade-off
     python -m repro.experiments tables         # Tables I-VII
+    python -m repro.experiments aspen          # DSL batch evaluation
     python -m repro.experiments all
     python -m repro.experiments fig4 --tier test   # fast, reduced sizes
+    python -m repro.experiments aspen --mode lenient
 
 (also installed as the ``dvf-experiments`` console script.)
+
+Exit codes: 0 success, 2 argparse usage error, 3 a fault-injection
+campaign was resumed against a mismatched checkpoint journal, 4 a
+checkpoint journal was unreadable/corrupt.
 """
 
 from __future__ import annotations
@@ -18,6 +24,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+
+#: Distinct exit codes for the checkpoint-error taxonomy (satellite of
+#: the fail-soft pipeline: a resume gone wrong is diagnosable by code).
+EXIT_CHECKPOINT_MISMATCH = 3
+EXIT_CHECKPOINT_CORRUPT = 4
 
 
 def _fig4(args) -> str:
@@ -84,7 +95,15 @@ def _tables(args) -> str:
     return render_all_tables()
 
 
+def _aspen(args) -> str:
+    from repro.experiments.aspen_batch import render_aspen_batch, run_aspen_batch
+
+    tier = "test" if args.tier == "verification" else args.tier
+    return render_aspen_batch(run_aspen_batch(tier=tier, mode=args.mode))
+
+
 _COMMANDS = {
+    "aspen": _aspen,
     "fi": _fi,
     "fig4": _fig4,
     "fig5": _fig5,
@@ -136,11 +155,40 @@ def main(argv: list[str] | None = None) -> int:
         help="fi: journal campaigns to DIR/<kernel>.jsonl and resume "
         "from any checkpoints already present (safe across Ctrl-C)",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("strict", "lenient"),
+        default="strict",
+        help="evaluation mode: 'strict' raises on the first model "
+        "error; 'lenient' degrades broken structures to the worst-case "
+        "bound and reports coded diagnostics (aspen batch)",
+    )
     args = parser.parse_args(argv)
+    from repro.faultinject.errors import CheckpointCorrupt, CheckpointMismatch
+
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
-        output = _COMMANDS[name](args)
+        try:
+            output = _COMMANDS[name](args)
+        except CheckpointMismatch as exc:
+            print(
+                f"checkpoint mismatch: the journal under --resume was "
+                f"written by a different campaign configuration.\n  {exc}\n"
+                f"Point --resume at a fresh directory or delete the stale "
+                f"journal to start over.",
+                file=sys.stderr,
+            )
+            return EXIT_CHECKPOINT_MISMATCH
+        except CheckpointCorrupt as exc:
+            print(
+                f"checkpoint corrupt: the journal under --resume cannot be "
+                f"read.\n  {exc}\n"
+                f"Delete the damaged journal file to restart that campaign "
+                f"from scratch.",
+                file=sys.stderr,
+            )
+            return EXIT_CHECKPOINT_CORRUPT
         elapsed = time.perf_counter() - start
         print(output)
         print(f"[{name} regenerated in {elapsed:.1f}s]\n")

@@ -16,12 +16,14 @@ harness compare them mechanically.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.cachesim.configs import CacheGeometry
-from repro.patterns.base import AccessPattern
+from repro.diagnostics import DiagnosticSink, check_mode
+from repro.patterns.base import AccessPattern, PatternError
 from repro.trace.recorder import TraceRecorder
 from repro.trace.reference import ReferenceTrace
 
@@ -113,9 +115,22 @@ class Kernel(ABC):
         """
 
     def estimate_nha(
-        self, workload: Workload, geometry: CacheGeometry
+        self,
+        workload: Workload,
+        geometry: CacheGeometry,
+        mode: str = "strict",
+        sink: DiagnosticSink | None = None,
     ) -> dict[str, float]:
-        """Model-estimated main-memory accesses per data structure."""
+        """Model-estimated main-memory accesses per data structure.
+
+        ``mode="lenient"`` routes every estimate through the guardrail
+        layer (finiteness + physical bounds), degrading failures to the
+        worst-case bound and recording diagnostics in ``sink``.
+        """
+        check_mode(mode)
+        if mode == "lenient":
+            values, _ = self.estimate_nha_checked(workload, geometry, sink)
+            return values
         model = self.access_model(workload)
         if hasattr(model, "estimate_by_structure"):
             return dict(model.estimate_by_structure(geometry))
@@ -123,6 +138,71 @@ class Kernel(ABC):
             name: pattern.estimate_accesses(geometry)
             for name, pattern in model.items()
         }
+
+    def estimate_nha_checked(
+        self,
+        workload: Workload,
+        geometry: CacheGeometry,
+        sink: DiagnosticSink | None = None,
+    ) -> tuple[dict[str, float], frozenset[str]]:
+        """Guarded ``N_ha`` estimates: ``(values, degraded_structures)``.
+
+        Composite (access-order) estimates that fail or go non-finite
+        fall back to the per-structure guarded estimates; plain pattern
+        maps are evaluated through
+        :meth:`~repro.patterns.base.AccessPattern.estimate_accesses_checked`.
+        """
+        model = self.access_model(workload)
+        degraded: set[str] = set()
+        if hasattr(model, "estimate_by_structure"):
+            try:
+                raw = dict(model.estimate_by_structure(geometry))
+            except (PatternError, ArithmeticError, ValueError) as exc:
+                if sink is not None:
+                    sink.error(
+                        "ASP304",
+                        f"kernel {self.name!r}: composite estimate failed "
+                        f"({exc}); falling back to per-structure estimates",
+                    )
+                raw = {}
+            patterns = dict(getattr(model, "patterns", {}))
+            if not patterns:
+                # No per-structure fallback available; sanitize raw.
+                for name, value in raw.items():
+                    if not math.isfinite(value):
+                        if sink is not None:
+                            sink.error(
+                                "ASP305",
+                                f"non-finite N_ha for {name!r} dropped",
+                                structure=name,
+                            )
+                        raw[name] = 0.0
+                        degraded.add(name)
+                return raw, frozenset(degraded)
+            values: dict[str, float] = {}
+            for name, pattern in patterns.items():
+                value = raw.get(name)
+                if value is not None and math.isfinite(value):
+                    # Composite interleaving can exceed the standalone
+                    # ceiling; only the physical floor applies.
+                    values[name] = max(value, pattern.min_accesses(geometry))
+                    continue
+                checked, was_degraded = pattern.estimate_accesses_checked(
+                    geometry, sink=sink, structure=name, mode="lenient"
+                )
+                values[name] = checked
+                if was_degraded or value is not None:
+                    degraded.add(name)
+            return values, frozenset(degraded)
+        values = {}
+        for name, pattern in model.items():
+            checked, was_degraded = pattern.estimate_accesses_checked(
+                geometry, sink=sink, structure=name, mode="lenient"
+            )
+            values[name] = checked
+            if was_degraded:
+                degraded.add(name)
+        return values, frozenset(degraded)
 
     # ------------------------------------------------------------------
     # performance model

@@ -17,7 +17,7 @@ Every pattern implements
 ``estimate_accesses(geometry: CacheGeometry) -> float``.
 """
 
-from repro.patterns.base import AccessPattern, PatternError
+from repro.patterns.base import AccessPattern, PatternError, WorstCaseAccess
 from repro.patterns.streaming import StreamingAccess
 from repro.patterns.binary_search import BinarySearchAccess
 from repro.patterns.random_access import (
@@ -37,6 +37,7 @@ from repro.patterns.distance import stack_distances
 __all__ = [
     "AccessPattern",
     "PatternError",
+    "WorstCaseAccess",
     "StreamingAccess",
     "RandomAccess",
     "WorkingSetRandomAccess",

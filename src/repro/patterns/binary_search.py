@@ -65,6 +65,16 @@ class BinarySearchAccess(AccessPattern):
     def footprint_bytes(self) -> int:
         return self.num_elements * self.element_size
 
+    def max_accesses(self, geometry: CacheGeometry) -> float:
+        """``T*AE``: construction plus every probe of every lookup missing."""
+        blocks_per_probe = max(
+            math.ceil(self.element_size / geometry.line_size), 1
+        )
+        return float(
+            ceil_div(self.footprint_bytes(), geometry.line_size)
+            + self.lookups * self.probe_levels * blocks_per_probe
+        )
+
     @property
     def probe_levels(self) -> int:
         """Probes per lookup: ``ceil(log2(N))`` (one pivot per level)."""

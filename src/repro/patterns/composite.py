@@ -110,6 +110,28 @@ class CompositeAccessModel(AccessPattern):
     def footprint_bytes(self) -> int:
         return sum(self._sizes.values())
 
+    def min_accesses(self, geometry: CacheGeometry) -> float:
+        """Every structure pays at least its own compulsory floor."""
+        return float(
+            sum(p.min_accesses(geometry) for p in self.patterns.values())
+        )
+
+    def max_accesses(self, geometry: CacheGeometry) -> float:
+        """Per-structure base ceiling plus a full reload at every reuse."""
+        total = 0.0
+        for name, pattern in self.patterns.items():
+            total += pattern.max_accesses(geometry)
+            positions = self._positions(name)
+            if not positions:
+                continue
+            fa = ceil_div(self._sizes[name], geometry.line_size)
+            churn = sum(
+                self._costream_churn_blocks(name, position, geometry)
+                for position in positions
+            )
+            total += self.iterations * (len(positions) * fa + churn)
+        return total
+
     def _positions(self, name: str) -> list[int]:
         return [i for i, event in enumerate(self.events) if name in event]
 

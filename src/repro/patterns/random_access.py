@@ -15,7 +15,12 @@ import numpy as np
 from scipy import stats as sp_stats
 
 from repro.cachesim.configs import CacheGeometry
-from repro.patterns.base import AccessPattern, PatternError, ceil_div
+from repro.patterns.base import (
+    AccessPattern,
+    PatternError,
+    ceil_div,
+    max_lines_per_reference,
+)
 
 
 class RandomAccess(AccessPattern):
@@ -89,6 +94,14 @@ class RandomAccess(AccessPattern):
     def initial_accesses(self, geometry: CacheGeometry) -> int:
         """Compulsory loads of the construction traversal: ``ceil(E*N/CL)``."""
         return ceil_div(self.footprint_bytes(), geometry.line_size)
+
+    def max_accesses(self, geometry: CacheGeometry) -> float:
+        """``T*AE``: construction plus every visit missing all its lines."""
+        ae = max_lines_per_reference(self.element_size, geometry.line_size)
+        return float(
+            self.initial_accesses(geometry)
+            + self.iterations * self.distinct_per_iteration * ae
+        )
 
     # ------------------------------------------------------------------
     def expected_missing_elements(self, geometry: CacheGeometry) -> float:

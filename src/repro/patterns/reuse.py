@@ -146,6 +146,11 @@ class ReuseAccess(AccessPattern):
     def footprint_bytes(self) -> int:
         return self.target_bytes
 
+    def max_accesses(self, geometry: CacheGeometry) -> float:
+        """``T*AE``: the initial load plus a full reload on every reuse."""
+        fa, _ = self._blocks(geometry)
+        return float(fa * (1 + self.reuse_count))
+
     def _blocks(self, geometry: CacheGeometry) -> tuple[int, int]:
         fa = ceil_div(self.target_bytes, geometry.line_size)
         fb = ceil_div(self.interfering_bytes, geometry.line_size) if (

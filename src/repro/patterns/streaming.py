@@ -15,7 +15,7 @@ from repro.patterns.base import (
     PatternError,
     alignment_probability,
     ceil_div,
-    expected_accesses_per_element,
+    max_lines_per_reference,
 )
 
 
@@ -103,6 +103,25 @@ class StreamingAccess(AccessPattern):
 
     def footprint_bytes(self) -> int:
         return self.data_size
+
+    # -- physical bounds ------------------------------------------------
+    def min_accesses(self, geometry: CacheGeometry) -> float:
+        """Distinct lines one sweep must load (compulsory misses).
+
+        Dense strides (``S <= CL``) touch every line of the structure; a
+        sparse stride (``S > CL``) starts each touched element in its
+        own line, so at least ``ceil(D/S)`` lines load.
+        """
+        if self.stride_bytes <= geometry.line_size:
+            return float(ceil_div(self.data_size, geometry.line_size))
+        return float(self.elements_accessed)
+
+    def max_accesses(self, geometry: CacheGeometry) -> float:
+        """``T*AE``: every touched element misses all its lines, every sweep."""
+        ae = max_lines_per_reference(
+            self.element_size, geometry.line_size, self.aligned
+        )
+        return float(self.sweeps * self.elements_accessed * ae)
 
     # ------------------------------------------------------------------
     def _misalignment(self, line_size: int) -> float:

@@ -1,0 +1,184 @@
+"""Strict vs lenient evaluation through the Aspen pipeline.
+
+The acceptance behavior: a batch over many models always completes in
+lenient mode — invalid structures degrade to the worst-case bound
+``N_ha = T*AE`` and are marked ``degraded=True`` in the report — while
+strict mode still raises on the first error.
+"""
+
+import math
+
+import pytest
+
+from repro.aspen import DiagnosticSink, compile_source
+from repro.aspen.errors import AspenSemanticError, AspenSyntaxError
+from repro.experiments.aspen_batch import (
+    compiled_report,
+    evaluate_batch,
+    render_aspen_batch,
+    run_aspen_batch,
+)
+
+MACHINE = """
+machine box {
+  cache { associativity: 8, sets: 64, line_size: 64 }
+  memory { fit: 5000, bandwidth: 12.8e9 }
+  core { flops: 2.0e9 }
+}
+"""
+
+BROKEN_MODEL = """
+model damaged {
+  param n = 1000
+  data A { elements: n, element_size: 8,
+           pattern streaming { stride: 0 } }
+  data B { elements: n, element_size: 8,
+           pattern nonsense { } }
+  data C { elements: n, element_size: 8,
+           pattern streaming { } }
+  kernel k { iterations: 4, time: 2.0 }
+}
+""" + MACHINE
+
+VALID_MODEL = """
+model fine {
+  param n = 500
+  data X { elements: n, element_size: 8,
+           pattern streaming { } }
+  kernel k { iterations: 1, time: 1.0 }
+}
+""" + MACHINE
+
+
+class TestStrictVsLenient:
+    def test_strict_raises_first_error(self):
+        with pytest.raises(AspenSemanticError):
+            compile_source(BROKEN_MODEL)
+
+    def test_lenient_compiles_and_degrades(self):
+        compiled = compile_source(BROKEN_MODEL, mode="lenient")
+        assert compiled.mode == "lenient"
+        degraded = compiled.degraded_structures()
+        assert degraded == {"A", "B"}
+        nha = compiled.nha_by_structure()
+        assert set(nha) == {"A", "B", "C"}
+        for value in nha.values():
+            assert math.isfinite(value) and value >= 0
+
+    def test_degraded_bound_is_worst_case(self):
+        compiled = compile_source(BROKEN_MODEL, mode="lenient")
+        nha = compiled.nha_by_structure()
+        # A: T = n = 1000 references, AE = 1 for aligned-size 8B/64B
+        # elements... but unaligned AE_max is 2; the bound is T*AE.
+        pattern = compiled.patterns["A"]
+        assert nha["A"] == pattern.max_accesses(compiled.machine.cache)
+        # The healthy structure keeps its analytical estimate: a dense
+        # sweep of 1000 8-byte elements through 64-byte lines.
+        assert nha["C"] == pytest.approx(1000 * 8 / 64)
+
+    def test_lenient_diagnostics_have_stable_codes(self):
+        compiled = compile_source(BROKEN_MODEL, mode="lenient")
+        codes = {d.code for d in compiled.sink}
+        assert "ASP204" in codes  # unknown pattern kind
+        assert "ASP304" in codes  # degraded to worst case
+        assert any(d.structure == "A" for d in compiled.sink.errors)
+
+    def test_lenient_matches_strict_on_valid_model(self):
+        strict = compile_source(VALID_MODEL)
+        lenient = compile_source(VALID_MODEL, mode="lenient")
+        assert lenient.degraded_structures() == frozenset()
+        assert strict.nha_by_structure() == pytest.approx(
+            lenient.nha_by_structure()
+        )
+        assert strict.dvf_application() == pytest.approx(
+            lenient.dvf_application()
+        )
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            compile_source(VALID_MODEL, mode="tolerant")
+
+    def test_lenient_recovers_from_syntax_errors_too(self):
+        source = BROKEN_MODEL.replace("param n = 1000", "param n = $1000")
+        with pytest.raises(AspenSyntaxError):
+            compile_source(source)
+        compiled = compile_source(source, mode="lenient")
+        assert any(d.code == "ASP001" for d in compiled.sink)
+        assert set(compiled.nha_by_structure()) == {"A", "B", "C"}
+
+
+class TestReportFlags:
+    def test_report_marks_degraded_structures(self):
+        compiled = compile_source(BROKEN_MODEL, mode="lenient")
+        report = compiled_report(compiled)
+        assert set(report.degraded_structures) == {"A", "B"}
+        assert report.structure("A").degraded
+        assert not report.structure("C").degraded
+        assert math.isfinite(report.dvf_application)
+
+    def test_report_payload_is_machine_readable(self):
+        compiled = compile_source(BROKEN_MODEL, mode="lenient")
+        payload = compiled_report(compiled).to_payload()
+        assert payload["structures"][0].keys() >= {"name", "nha", "degraded"}
+        assert payload["diagnostics"], "diagnostics section must be present"
+        assert all("code" in d for d in payload["diagnostics"])
+
+    def test_rendered_report_footnotes_degradation(self):
+        from repro.core.report import render_dvf_report
+
+        compiled = compile_source(BROKEN_MODEL, mode="lenient")
+        text = render_dvf_report(compiled_report(compiled))
+        assert "A*" in text
+        assert "degraded" in text
+        assert "diagnostics" in text
+
+
+class TestBatch:
+    def test_lenient_batch_always_completes(self):
+        sources = {
+            "ok": VALID_MODEL,
+            "damaged": BROKEN_MODEL,
+            "hopeless": "model h { } " + MACHINE,
+        }
+        entries = evaluate_batch(sources, mode="lenient")
+        assert [e.label for e in entries] == ["ok", "damaged", "hopeless"]
+        assert entries[0].ok and entries[0].report.degraded_structures == ()
+        assert entries[1].ok and set(
+            entries[1].report.degraded_structures
+        ) == {"A", "B"}
+        # No kernels at all: nothing to evaluate, but the batch entry
+        # still exists and carries the diagnostics.
+        assert not entries[2].ok
+        assert entries[2].diagnostics
+
+    def test_strict_batch_raises(self):
+        with pytest.raises(AspenSemanticError):
+            evaluate_batch({"damaged": BROKEN_MODEL}, mode="strict")
+
+    def test_builtin_batch_is_clean_in_both_modes(self):
+        strict = run_aspen_batch(tier="test", mode="strict")
+        lenient = run_aspen_batch(tier="test", mode="lenient")
+        assert all(e.ok for e in strict)
+        assert all(e.ok for e in lenient)
+        for s, l in zip(strict, lenient):
+            assert l.report.degraded_structures == ()
+            assert s.report.dvf_application == pytest.approx(
+                l.report.dvf_application
+            )
+
+    def test_render_batch_summary_line(self):
+        entries = evaluate_batch(
+            {"ok": VALID_MODEL, "damaged": BROKEN_MODEL}, mode="lenient"
+        )
+        text = render_aspen_batch(entries)
+        assert "2 models, 0 failed, 1 with degraded structures" in text
+
+
+class TestSinkSharing:
+    def test_caller_sink_collects_everything(self):
+        sink = DiagnosticSink()
+        compiled = compile_source(BROKEN_MODEL, mode="lenient", sink=sink)
+        assert compiled.sink is sink
+        assert sink.has_errors
+        payload = sink.to_payload()
+        assert {"severity", "code", "message"} <= payload[0].keys()

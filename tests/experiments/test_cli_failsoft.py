@@ -1,0 +1,66 @@
+"""CLI behavior of the fail-soft pipeline and the checkpoint taxonomy.
+
+The ``dvf-experiments`` entry point must translate the structured
+checkpoint errors from PR 1's resumable campaigns into distinct exit
+codes with an actionable message, and expose ``--mode`` for the Aspen
+batch.
+"""
+
+import pytest
+
+from repro.experiments import runner
+from repro.faultinject.errors import CheckpointCorrupt, CheckpointMismatch
+
+
+def _raise_factory(exc):
+    def command(args):
+        raise exc
+
+    return command
+
+
+class TestCheckpointExitCodes:
+    def test_mismatch_exits_3(self, monkeypatch, capsys):
+        monkeypatch.setitem(
+            runner._COMMANDS,
+            "fi",
+            _raise_factory(CheckpointMismatch("config drift detected")),
+        )
+        code = runner.main(["fi", "--resume", "/tmp/nowhere"])
+        assert code == runner.EXIT_CHECKPOINT_MISMATCH == 3
+        err = capsys.readouterr().err
+        assert "checkpoint mismatch" in err
+        assert "config drift detected" in err
+
+    def test_corrupt_exits_4(self, monkeypatch, capsys):
+        monkeypatch.setitem(
+            runner._COMMANDS,
+            "fi",
+            _raise_factory(CheckpointCorrupt("truncated journal line 7")),
+        )
+        code = runner.main(["fi", "--resume", "/tmp/nowhere"])
+        assert code == runner.EXIT_CHECKPOINT_CORRUPT == 4
+        err = capsys.readouterr().err
+        assert "checkpoint corrupt" in err
+        assert "truncated journal line 7" in err
+
+    def test_success_exits_0(self, monkeypatch, capsys):
+        monkeypatch.setitem(
+            runner._COMMANDS, "fi", lambda args: "fi output here"
+        )
+        assert runner.main(["fi"]) == 0
+        assert "fi output here" in capsys.readouterr().out
+
+
+class TestAspenSubcommand:
+    @pytest.mark.parametrize("mode", ["strict", "lenient"])
+    def test_aspen_batch_runs(self, mode, capsys):
+        assert runner.main(["aspen", "--tier", "test", "--mode", mode]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 5 models, 0 failed" in out
+        assert "DVF report: VM" in out
+
+    def test_bad_mode_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["aspen", "--mode", "sloppy"])
+        assert excinfo.value.code == 2
