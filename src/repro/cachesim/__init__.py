@@ -15,6 +15,10 @@ Public API
     An LRU, write-back/write-allocate set-associative cache.
 :class:`CacheSimulator`
     Drives a reference trace through a cache, accumulating per-label stats.
+    Two engines sit behind it (``engine="array"|"reference"|"auto"``):
+    the batched numpy :class:`ArrayLRUEngine` and the dict-based oracle.
+:class:`ArrayLRUEngine`
+    The batched, array-backed LRU engine (bit-identical to the oracle).
 :class:`CacheStats` / :class:`LabelStats`
     Per-data-structure hit/miss/writeback accounting.
 :data:`PAPER_CACHES`
@@ -28,16 +32,26 @@ from repro.cachesim.configs import (
     CacheGeometry,
 )
 from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.engine import (
+    ENGINES,
+    ArrayLRUEngine,
+    CacheEngineError,
+    check_engine,
+)
 from repro.cachesim.simulator import CacheSimulator, simulate_trace
 from repro.cachesim.stats import CacheStats, LabelStats
 
 __all__ = [
     "CacheGeometry",
     "SetAssociativeCache",
+    "ArrayLRUEngine",
+    "CacheEngineError",
     "CacheSimulator",
     "CacheStats",
     "LabelStats",
+    "check_engine",
     "simulate_trace",
+    "ENGINES",
     "PAPER_CACHES",
     "PROFILING_CACHES",
     "VERIFICATION_CACHES",

@@ -1,9 +1,25 @@
 """Drive a memory-reference trace through the cache simulator.
 
-The hot loop is written per the HPC optimisation guides: the trace is
-pre-expanded into flat numpy columns of per-line touches (vectorised),
-and the unavoidable sequential LRU walk binds everything to locals and
-does plain dict operations — roughly a microsecond per reference.
+Two engines sit behind :class:`CacheSimulator`:
+
+* ``"array"`` — the batched numpy engine
+  (:class:`~repro.cachesim.engine.ArrayLRUEngine`): the trace is
+  pre-expanded into flat numpy columns of per-line touches
+  (vectorised), collapsed, and replayed in per-set waves of whole-array
+  operations.  LRU only; bit-identical to the oracle.
+* ``"reference"`` — the dict-based
+  :class:`~repro.cachesim.cache.SetAssociativeCache` oracle: a
+  sequential walk doing plain dict operations, roughly a microsecond
+  per reference.  Supports every replacement policy and remains the
+  ground truth the array engine is differentially tested against
+  (``tests/cachesim/test_engine_differential.py``).
+
+The default ``engine="auto"`` routes LRU to the array engine and the
+FIFO/random ablation policies to the reference cache's general access
+path; requesting ``engine="array"`` for a non-LRU policy raises
+:class:`~repro.cachesim.engine.CacheEngineError` instead of silently
+degrading.  ``benchmarks/harness.py`` records the measured speedup per
+kernel in ``BENCH_cachesim.json``.
 """
 
 from __future__ import annotations
@@ -12,6 +28,12 @@ import numpy as np
 
 from repro.cachesim.cache import SetAssociativeCache, _Line
 from repro.cachesim.configs import CacheGeometry
+from repro.cachesim.engine import (
+    DEFAULT_CHUNK_SIZE,
+    EVENT_EVICT,
+    ArrayLRUEngine,
+    check_engine,
+)
 from repro.cachesim.stats import CacheStats
 from repro.trace.reference import ReferenceTrace
 
@@ -24,14 +46,46 @@ def _expand_lines(
     Returns ``(line_ids, is_write, label_ids)``, with accesses spanning
     k lines contributing k consecutive entries.
     """
-    first = trace.addresses // line_size
-    last = (trace.addresses + trace.sizes - 1) // line_size
-    spans = (last - first + 1).astype(np.int64)
-    if len(spans) == 0:
+    line_size = int(line_size)
+    if len(trace.addresses) == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, np.empty(0, dtype=bool), np.empty(0, dtype=np.int32)
-    if int(spans.max()) == 1:
+    if line_size & (line_size - 1) == 0:
+        # Power-of-two line size: shifts beat int64 division ~10x, and
+        # the straddle test needs no second division at all.
+        shift = line_size.bit_length() - 1
+        first = trace.addresses >> shift
+        within = trace.addresses & (line_size - 1)
+        within += trace.sizes
+        if int(within.max()) <= line_size:
+            return first, trace.is_write, trace.label_ids
+        last = (trace.addresses + trace.sizes - 1) >> shift
+    else:
+        first = trace.addresses // line_size
+        last = (trace.addresses + trace.sizes - 1) // line_size
+    spans = last - first
+    spans += 1
+    max_span = int(spans.max())
+    if max_span == 1:
         return first, trace.is_write, trace.label_ids
+    if max_span == 2:
+        # Common case: only two-line straddles.  Scatter each access to
+        # slot i + (#straddles before i); straddles fill the next slot
+        # too — cheaper than the generic np.repeat construction.
+        straddle = spans == 2
+        total = len(spans) + int(np.count_nonzero(straddle))
+        slots = np.cumsum(spans) - spans
+        line_ids = np.empty(total, dtype=np.int64)
+        is_write = np.empty(total, dtype=bool)
+        label_ids = np.empty(total, dtype=np.int32)
+        line_ids[slots] = first
+        is_write[slots] = trace.is_write
+        label_ids[slots] = trace.label_ids
+        extra = slots[straddle] + 1
+        line_ids[extra] = first[straddle] + 1
+        is_write[extra] = trace.is_write[straddle]
+        label_ids[extra] = trace.label_ids[straddle]
+        return line_ids, is_write, label_ids
     total = int(spans.sum())
     # Offsets of each access's first entry in the expanded arrays.
     starts = np.zeros(len(spans), dtype=np.int64)
@@ -46,11 +100,34 @@ def _expand_lines(
 
 
 class CacheSimulator:
-    """Runs reference traces through a :class:`SetAssociativeCache`.
+    """Runs reference traces through a set-associative LRU cache.
 
     The simulator keeps the cache state across :meth:`run` calls, so a
     kernel split across several traces (e.g. per-iteration traces) warms
     the cache naturally.
+
+    Parameters
+    ----------
+    geometry:
+        The cache shape (``CA``, ``NA``, ``CL``).
+    policy:
+        Replacement policy (``"lru"``/``"fifo"``/``"random"``).
+    seed:
+        RNG seed for the ``"random"`` policy.
+    track_residency:
+        Enable the per-label residency integrals used by the cache-DVF
+        extension.
+    engine:
+        ``"auto"`` (default), ``"array"`` or ``"reference"`` — see the
+        module docstring.  Both engines produce bit-identical
+        statistics for LRU.
+    chunk_size:
+        Batch size (expanded line touches) for the array engine's
+        chunked replay.
+    strategy:
+        Array-engine in-chunk replay strategy (``"adaptive"``/``"wave"``/
+        ``"scalar"``); all three are bit-identical, ``"adaptive"``
+        picks per chunk on estimated throughput.
     """
 
     def __init__(
@@ -59,8 +136,30 @@ class CacheSimulator:
         policy: str = "lru",
         seed: int = 0,
         track_residency: bool = False,
+        engine: str = "auto",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        strategy: str = "adaptive",
     ):
-        self.cache = SetAssociativeCache(geometry, policy=policy, seed=seed)
+        if policy not in SetAssociativeCache.POLICIES:
+            raise ValueError(
+                f"policy must be one of {SetAssociativeCache.POLICIES}, "
+                f"got {policy!r}"
+            )
+        self.geometry = geometry
+        self.policy = policy
+        self.engine = check_engine(engine, policy)
+        self._stats = CacheStats()
+        if self.engine == "array":
+            self._array: ArrayLRUEngine | None = ArrayLRUEngine(
+                geometry, chunk_size=chunk_size, strategy=strategy
+            )
+            #: The dict-based oracle; ``None`` under the array engine.
+            self.cache: SetAssociativeCache | None = None
+        else:
+            self._array = None
+            self.cache = SetAssociativeCache(
+                geometry, stats=self._stats, policy=policy, seed=seed
+            )
         self.track_residency = track_residency
         #: Σ resident-lines x accesses per label (time measured in
         #: cache accesses); see :meth:`average_resident_lines`.
@@ -72,7 +171,7 @@ class CacheSimulator:
     @property
     def stats(self) -> CacheStats:
         """Accumulated per-label statistics."""
-        return self.cache.stats
+        return self._stats
 
     # -- residency accounting (cache-DVF extension) ---------------------
     def _settle(self, label: str) -> None:
@@ -107,25 +206,90 @@ class CacheSimulator:
             return 0.0
         return self.residency_integral.get(label, 0.0) / self._steps
 
+    # -- introspection ---------------------------------------------------
+    def resident_lines(self) -> int:
+        """Number of lines currently resident in the cache."""
+        if self._array is not None:
+            return self._array.resident_lines()
+        return self.cache.resident_lines()
+
+    def resident_lines_for(self, label: str) -> int:
+        """Number of resident lines owned by ``label``."""
+        if self._array is not None:
+            return self._array.resident_lines_for(label)
+        return self.cache.resident_lines_for(label)
+
+    # -- trace replay ----------------------------------------------------
     def run(self, trace: ReferenceTrace) -> CacheStats:
         """Simulate ``trace``; returns the accumulated stats object."""
-        geometry = self.cache.geometry
-        line_ids, writes, label_ids = _expand_lines(trace, geometry.line_size)
-        labels = trace.labels
-        if self.cache.policy != "lru":
-            # Non-LRU policies go through the cache's general access
-            # path (ablation use; the hot loop below is LRU-specific).
+        line_ids, writes, label_ids = _expand_lines(
+            trace, self.geometry.line_size
+        )
+        if self._array is not None:
+            return self._run_array(trace, line_ids, writes, label_ids)
+        if self.policy != "lru":
+            # Non-LRU ablation policies go through the reference
+            # cache's general access path (the LRU paths above and
+            # below are policy-specific).
             access = self.cache.access_line
+            labels = trace.labels
             for line_id, is_write, lid in zip(
                 line_ids.tolist(), writes.tolist(), label_ids.tolist()
             ):
                 access(line_id, is_write, labels[lid])
-            return self.cache.stats
+            return self._stats
+        return self._run_reference(trace, line_ids, writes, label_ids)
+
+    def _run_array(
+        self,
+        trace: ReferenceTrace,
+        line_ids: np.ndarray,
+        writes: np.ndarray,
+        label_ids: np.ndarray,
+    ) -> CacheStats:
+        """Batched replay through :class:`ArrayLRUEngine`."""
+        engine = self._array
+        for name in trace.labels:
+            self._stats.label(name)
+        events = engine.replay(
+            line_ids,
+            writes,
+            label_ids,
+            trace.labels,
+            self._stats,
+            collect_events=self.track_residency,
+        )
+        if self.track_residency:
+            steps, kinds, event_labels = events
+            name_of = engine.label_name
+            evict = self._residency_evict
+            insert = self._residency_insert
+            for step, kind, lid in zip(
+                steps.tolist(), kinds.tolist(), event_labels.tolist()
+            ):
+                self._steps = step
+                if kind == EVENT_EVICT:
+                    evict(name_of(lid))
+                else:
+                    insert(name_of(lid))
+            self._steps = engine.clock
+        return self._stats
+
+    def _run_reference(
+        self,
+        trace: ReferenceTrace,
+        line_ids: np.ndarray,
+        writes: np.ndarray,
+        label_ids: np.ndarray,
+    ) -> CacheStats:
+        """The oracle's sequential LRU walk (dict operations)."""
+        geometry = self.geometry
+        labels = trace.labels
         # Local-variable binding for the sequential walk.
         sets = self.cache._sets
         num_sets = geometry.num_sets
         ways = geometry.associativity
-        stats = self.cache.stats
+        stats = self._stats
         counters = [stats.label(name) for name in labels]
         wb_counts: dict[str, int] = {}
         line_ids_list = line_ids.tolist()
@@ -164,6 +328,8 @@ class CacheSimulator:
 
     def flush(self) -> int:
         """Drain the cache, charging writebacks for dirty lines."""
+        if self._array is not None:
+            return self._array.flush(self._stats)
         return self.cache.flush()
 
 
@@ -172,9 +338,10 @@ def simulate_trace(
     geometry: CacheGeometry,
     flush_at_end: bool = False,
     policy: str = "lru",
+    engine: str = "auto",
 ) -> CacheStats:
     """One-shot convenience: simulate a whole trace on a cold cache."""
-    sim = CacheSimulator(geometry, policy=policy)
+    sim = CacheSimulator(geometry, policy=policy, engine=engine)
     sim.run(trace)
     if flush_at_end:
         sim.flush()

@@ -39,12 +39,17 @@ class AnalyzerConfig:
         Memory FIT rate (paper Table VII; default: unprotected memory).
     flops_rate / bandwidth:
         Roofline machine parameters for the modeled execution time.
+    engine:
+        Cache-simulation engine for the ground-truth path
+        (``"auto"``/``"array"``/``"reference"``); statistics are
+        bit-identical either way for LRU.
     """
 
     geometry: CacheGeometry
     fit: float = NO_ECC.fit
     flops_rate: float = 2.0e9
     bandwidth: float = 12.8e9
+    engine: str = "auto"
 
 
 class DVFAnalyzer:
@@ -121,7 +126,9 @@ class DVFAnalyzer:
         if runtime is None:
             runtime = self.runtime_provider(kernel, workload)
         trace = kernel.trace(workload)
-        stats = simulate_trace(trace, self.config.geometry)
+        stats = simulate_trace(
+            trace, self.config.geometry, engine=self.config.engine
+        )
         nha = {
             name: float(stats.misses(name))
             for name in kernel.data_structures(workload)

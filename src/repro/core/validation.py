@@ -69,13 +69,16 @@ def validate_kernel(
     geometry: CacheGeometry,
     mode: str = "strict",
     sink: DiagnosticSink | None = None,
+    engine: str = "auto",
 ) -> ValidationResult:
     """Run both evaluation paths and compare per data structure.
 
     ``mode`` governs the *model* path only: in ``lenient`` mode
     estimator failures degrade to the worst-case bound (recorded in
     ``sink``) so a validation sweep completes.  The simulation path is
-    ground truth and always raises on failure.
+    ground truth and always raises on failure.  ``engine`` selects the
+    cache-simulation engine (``"auto"``/``"array"``/``"reference"``);
+    both produce bit-identical statistics for LRU.
     """
     check_mode(mode)
     start = time.perf_counter()
@@ -84,7 +87,7 @@ def validate_kernel(
 
     start = time.perf_counter()
     trace = kernel.trace(workload)
-    stats = simulate_trace(trace, geometry)
+    stats = simulate_trace(trace, geometry, engine=engine)
     simulation_seconds = time.perf_counter() - start
 
     rows = tuple(

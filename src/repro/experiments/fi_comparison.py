@@ -66,6 +66,7 @@ def run_fi_comparison(
     jobs: int | None = None,
     timeout: float | None = None,
     checkpoint_dir: str | Path | None = None,
+    engine: str = "auto",
 ) -> list[FIComparisonRow]:
     """Run campaigns and compare against DVF for injectable kernels.
 
@@ -74,9 +75,12 @@ def run_fi_comparison(
     campaign to ``<dir>/<kernel>.jsonl`` and resumes from any journal
     already there, so an interrupted comparison re-runs only what is
     missing.  On Ctrl-C the completed rows are returned (the current
-    campaign having flushed its checkpoint first).
+    campaign having flushed its checkpoint first).  ``engine`` selects
+    the cache-simulation engine used by any simulated evaluation.
     """
-    analyzer = DVFAnalyzer(AnalyzerConfig(geometry=PAPER_CACHES["8MB"]))
+    analyzer = DVFAnalyzer(
+        AnalyzerConfig(geometry=PAPER_CACHES["8MB"], engine=engine)
+    )
     rows: list[FIComparisonRow] = []
     for name in kernels:
         if name not in INJECTABLE_KERNELS:

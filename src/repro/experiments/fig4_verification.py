@@ -35,15 +35,22 @@ def run_fig4(
     tier: str = "verification",
     kernels: tuple[str, ...] = KERNEL_ORDER,
     caches: dict | None = None,
+    engine: str = "auto",
 ) -> list[Fig4Row]:
-    """Regenerate the Figure 4 data series."""
+    """Regenerate the Figure 4 data series.
+
+    ``engine`` selects the cache-simulation engine for the ground-truth
+    path (statistics are bit-identical between engines for LRU).
+    """
     caches = caches if caches is not None else FIG4_CACHES
     workloads = WORKLOADS[tier]
     rows: list[Fig4Row] = []
     for cache_name, geometry in caches.items():
         for kernel_name in kernels:
             kernel = KERNELS[kernel_name]
-            result = validate_kernel(kernel, workloads[kernel_name], geometry)
+            result = validate_kernel(
+                kernel, workloads[kernel_name], geometry, engine=engine
+            )
             for s in result.structures:
                 rows.append(
                     Fig4Row(

@@ -44,13 +44,20 @@ def run_fig5(
     kernels: tuple[str, ...] = KERNEL_ORDER,
     caches: dict | None = None,
     fit: float = DEFAULT_FIT,
+    engine: str = "auto",
 ) -> list[Fig5Cell]:
-    """Regenerate the Figure 5 data series (analytical path only)."""
+    """Regenerate the Figure 5 data series (analytical path only).
+
+    ``engine`` is carried in the analyzer config for any simulated
+    cross-checks callers run alongside the analytical sweep.
+    """
     caches = caches if caches is not None else FIG5_CACHES
     workloads = WORKLOADS[tier]
     cells: list[Fig5Cell] = []
     for cache_name, geometry in caches.items():
-        analyzer = DVFAnalyzer(AnalyzerConfig(geometry=geometry, fit=fit))
+        analyzer = DVFAnalyzer(
+            AnalyzerConfig(geometry=geometry, fit=fit, engine=engine)
+        )
         for kernel_name in kernels:
             kernel = KERNELS[kernel_name]
             report = analyzer.analyze(kernel, workloads[kernel_name])

@@ -34,14 +34,14 @@ EXIT_CHECKPOINT_CORRUPT = 4
 def _fig4(args) -> str:
     from repro.experiments.fig4_verification import render_fig4, run_fig4
 
-    return render_fig4(run_fig4(tier=args.tier))
+    return render_fig4(run_fig4(tier=args.tier, engine=args.engine))
 
 
 def _fig5(args) -> str:
     from repro.experiments.fig5_profiling import render_fig5, run_fig5
 
     tier = args.tier if args.tier != "verification" else "profiling"
-    return render_fig5(run_fig5(tier=tier))
+    return render_fig5(run_fig5(tier=tier, engine=args.engine))
 
 
 def _fig6(args) -> str:
@@ -73,6 +73,7 @@ def _fi(args) -> str:
             jobs=args.jobs,
             timeout=args.timeout,
             checkpoint_dir=args.resume,
+            engine=args.engine,
         )
     )
 
@@ -154,6 +155,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="fi: journal campaigns to DIR/<kernel>.jsonl and resume "
         "from any checkpoints already present (safe across Ctrl-C)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "array", "reference"),
+        default="auto",
+        help="cache-simulation engine for ground-truth paths: 'array' "
+        "is the batched numpy engine, 'reference' the dict-based "
+        "oracle; 'auto' routes LRU to the array engine (statistics "
+        "are bit-identical either way)",
     )
     parser.add_argument(
         "--mode",
