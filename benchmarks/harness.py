@@ -7,11 +7,17 @@ per-kernel wall time, array-over-reference speedup, and an
 statistics on every workload they were timed on.  Future PRs regress
 against this file instead of re-deriving throughput claims by hand.
 
+``--pipeline`` times the end-to-end Figure 4 pipeline instead and
+writes ``BENCH_pipeline.json``: the sweep with a cold vs a warm
+persistent trace cache, and the Monte Carlo large-LLC simulation at
+1 / 2 / 4 set-shards.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/harness.py                 # paper scale
     PYTHONPATH=src python benchmarks/harness.py --tier test     # CI smoke
     PYTHONPATH=src python benchmarks/harness.py --out bench.json --repeats 5
+    PYTHONPATH=src python benchmarks/harness.py --pipeline      # fig4 e2e
 
 Geometries: both Table IV verification caches plus the paper's 8MB LLC
 (the configuration the FI comparison analyses).  The wall time recorded
@@ -25,8 +31,10 @@ import ctypes
 import ctypes.util
 import gc
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -62,6 +70,15 @@ from repro.cachesim import (  # noqa: E402
 from repro.cachesim.simulator import _expand_lines  # noqa: E402
 from repro.experiments.configs import KERNEL_ORDER, WORKLOADS  # noqa: E402
 from repro.kernels.registry import KERNELS  # noqa: E402
+from repro.trace.cache import TraceCache  # noqa: E402
+
+
+def _cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 #: Geometries the trajectory tracks: the Figure 4 verification caches
 #: and the paper's 8MB last-level cache (Table IV).
@@ -137,6 +154,143 @@ def run_harness(
     }
 
 
+def _time_fig4(tier: str, cache: TraceCache | None):
+    """One GC-isolated Figure 4 sweep; returns its wall time."""
+    from repro.experiments.fig4_verification import run_fig4
+
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        run_fig4(tier=tier, trace_cache=cache)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def bench_trace_cache(tier: str, repeats: int) -> dict:
+    """Figure 4 end to end: cold vs warm persistent trace cache.
+
+    Each repeat gets a fresh cache directory for the cold sweep, then
+    reruns against the now-populated directory for the warm sweep; the
+    best time of each side is recorded along with the hit/miss ledger
+    of the final repeat (the warm sweep must re-trace nothing).  The
+    warm sweep uses a *fresh* ``TraceCache`` instance — fresh-process
+    semantics, so it pays real archive decodes, not the instance memo.
+    """
+    cold_best = warm_best = float("inf")
+    ledger = {}
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="dvf-bench-cache-") as root:
+            cold = TraceCache(root)
+            cold_best = min(cold_best, _time_fig4(tier, cold))
+            warm = TraceCache(root)
+            warm_best = min(warm_best, _time_fig4(tier, warm))
+            ledger = {
+                "cold_misses": cold.misses,
+                "warm_hits": warm.hits,
+                "warm_misses": warm.misses,
+            }
+    return {
+        "tier": tier,
+        "cold_seconds": cold_best,
+        "warm_seconds": warm_best,
+        "warm_speedup": cold_best / warm_best,
+        **ledger,
+    }
+
+
+def bench_sharded(tier: str, repeats: int, shard_counts=(1, 2, 4)) -> dict:
+    """Monte Carlo on the paper's 8MB LLC at each shard count.
+
+    ``jobs`` equals the shard count (the configuration ``--jobs K``
+    selects), so scaling reflects what a user actually gets — including
+    partition and process-pool overhead on hosts without spare cores.
+    """
+    geometry = PAPER_CACHES["8MB"]
+    trace = KERNELS["MC"].trace(WORKLOADS[tier]["MC"])
+    refs = len(_expand_lines(trace, geometry.line_size)[0])
+    baseline_stats = None
+    variants = []
+    for k in shard_counts:
+        best = float("inf")
+        stats = None
+        for _ in range(repeats):
+            sim = CacheSimulator(geometry, engine="array", shards=k, jobs=k)
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                sim.run(trace)
+                best = min(best, time.perf_counter() - start)
+            finally:
+                gc.enable()
+            stats = sim.stats.as_dict()
+        if baseline_stats is None:
+            baseline_stats = stats
+        variants.append(
+            {
+                "shards": k,
+                "jobs": k,
+                "seconds": best,
+                "refs_per_sec": refs / best,
+                "identical": stats == baseline_stats,
+            }
+        )
+    base = variants[0]["seconds"]
+    for v in variants:
+        v["speedup"] = base / v["seconds"]
+    return {
+        "kernel": "MC",
+        "cache": "8MB",
+        "tier": tier,
+        "expanded_refs": refs,
+        "variants": variants,
+        "all_identical": all(v["identical"] for v in variants),
+    }
+
+
+def run_pipeline(tier: str = "verification", repeats: int = 2) -> dict:
+    """End-to-end pipeline benchmark; returns the BENCH_pipeline payload."""
+    return {
+        "schema": "BENCH_pipeline/1",
+        "tier": tier,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": _cpus(),
+        "malloc_tuned": MALLOC_TUNED,
+        "trace_cache": bench_trace_cache(tier, repeats),
+        "sharded": bench_sharded(tier, repeats),
+    }
+
+
+def render_pipeline(payload: dict) -> str:
+    """Human-readable summary of a pipeline payload."""
+    tc = payload["trace_cache"]
+    lines = [
+        f"BENCH_pipeline (tier={payload['tier']}, "
+        f"repeats={payload['repeats']}, cpus={payload['cpus']})",
+        f"  fig4 cold trace cache: {tc['cold_seconds']:7.2f}s "
+        f"({tc['cold_misses']} traces collected)",
+        f"  fig4 warm trace cache: {tc['warm_seconds']:7.2f}s "
+        f"({tc['warm_hits']} hits, {tc['warm_misses']} misses)  "
+        f"speedup {tc['warm_speedup']:.2f}x",
+    ]
+    sh = payload["sharded"]
+    lines.append(
+        f"  MC on {sh['cache']} ({sh['expanded_refs']} expanded refs):"
+    )
+    for v in sh["variants"]:
+        lines.append(
+            f"    shards={v['shards']} jobs={v['jobs']}: "
+            f"{v['seconds'] * 1e3:8.1f}ms  {v['refs_per_sec']:.3g} refs/s  "
+            f"speedup {v['speedup']:.2f}x  identical={v['identical']}"
+        )
+    lines.append(f"  all shard counts identical: {sh['all_identical']}")
+    return "\n".join(lines)
+
+
 def render(payload: dict) -> str:
     """Human-readable summary of a harness payload."""
     lines = [
@@ -178,18 +332,35 @@ def main(argv=None) -> int:
         help="timed repetitions per engine; best run is recorded",
     )
     parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="benchmark the end-to-end fig4 pipeline (trace cache "
+        "cold/warm, sharded simulation) instead of the raw engines",
+    )
+    parser.add_argument(
         "--out",
-        default="BENCH_cachesim.json",
-        help="output path for the machine-readable trajectory",
+        default=None,
+        help="output path for the machine-readable trajectory "
+        "(default: BENCH_cachesim.json, or BENCH_pipeline.json "
+        "with --pipeline)",
     )
     args = parser.parse_args(argv)
-    payload = run_harness(tier=args.tier, repeats=args.repeats)
-    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
-    print(render(payload))
-    print(f"wrote {args.out}")
-    if not payload["all_identical"]:
-        print("ERROR: engines disagreed on at least one workload",
-              file=sys.stderr)
+    if args.pipeline:
+        out = args.out or "BENCH_pipeline.json"
+        payload = run_pipeline(tier=args.tier, repeats=args.repeats)
+        ok = payload["sharded"]["all_identical"]
+        text = render_pipeline(payload)
+    else:
+        out = args.out or "BENCH_cachesim.json"
+        payload = run_harness(tier=args.tier, repeats=args.repeats)
+        ok = payload["all_identical"]
+        text = render(payload)
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(text)
+    print(f"wrote {out}")
+    if not ok:
+        print("ERROR: simulation variants disagreed on at least one "
+              "workload", file=sys.stderr)
         return 1
     return 0
 

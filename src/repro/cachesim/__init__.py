@@ -33,11 +33,13 @@ from repro.cachesim.configs import (
 )
 from repro.cachesim.cache import SetAssociativeCache
 from repro.cachesim.engine import (
+    AUTO_ARRAY_MIN_REFS,
     ENGINES,
     ArrayLRUEngine,
     CacheEngineError,
     check_engine,
 )
+from repro.cachesim.sharding import ShardedLRUSimulator
 from repro.cachesim.simulator import CacheSimulator, simulate_trace
 from repro.cachesim.stats import CacheStats, LabelStats
 
@@ -45,12 +47,14 @@ __all__ = [
     "CacheGeometry",
     "SetAssociativeCache",
     "ArrayLRUEngine",
+    "ShardedLRUSimulator",
     "CacheEngineError",
     "CacheSimulator",
     "CacheStats",
     "LabelStats",
     "check_engine",
     "simulate_trace",
+    "AUTO_ARRAY_MIN_REFS",
     "ENGINES",
     "PAPER_CACHES",
     "PROFILING_CACHES",

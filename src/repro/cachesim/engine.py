@@ -73,6 +73,15 @@ DEFAULT_CHUNK_SIZE = 1 << 21
 #: overhead, ~tens of µs, then exceeds the ~1 µs/run sequential cost).
 ADAPTIVE_WAVE_CUTOFF = 128
 
+#: ``engine="auto"`` routes an LRU simulation to the array engine only
+#: when the expanded trace holds at least this many line touches.  Below
+#: it the batching set-up costs dominate and the dict oracle is the
+#: faster path — the committed ``BENCH_cachesim.json`` measured the
+#: array engine at 0.90-0.98x reference on the sub-100k-reference
+#: small-cache rows.  Override per simulator via
+#: ``CacheSimulator(auto_min_refs=...)``.
+AUTO_ARRAY_MIN_REFS = 100_000
+
 #: Residency event kinds (see :meth:`ArrayLRUEngine.replay`).
 EVENT_EVICT = 0
 EVENT_INSERT = 1
@@ -186,6 +195,42 @@ class ArrayLRUEngine:
     def label_name(self, lid: int) -> str:
         """Label string for an engine-global label id."""
         return self._labels[lid]
+
+    # ------------------------------------------------------------------
+    # state round-trip (set-sharded worker processes)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the full cache state for a worker-process round trip.
+
+        The arrays are copied, so the snapshot stays valid after further
+        replays.  Restore with :meth:`load_state`.
+        """
+        return {
+            "tags": self._tags.copy(),
+            "age": self._age.copy(),
+            "dirty": self._dirty.copy(),
+            "label": self._label.copy(),
+            "clock": self.clock,
+            "labels": list(self._labels),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        The snapshot must come from an engine with the same geometry.
+        """
+        if state["tags"].shape != self._tags.shape:
+            raise ValueError(
+                f"state shape {state['tags'].shape} does not match "
+                f"engine shape {self._tags.shape}"
+            )
+        self._tags[...] = state["tags"]
+        self._age[...] = state["age"]
+        self._dirty[...] = state["dirty"]
+        self._label[...] = state["label"]
+        self.clock = int(state["clock"])
+        self._labels = list(state["labels"])
+        self._label_ids = {name: i for i, name in enumerate(self._labels)}
 
     # ------------------------------------------------------------------
     # introspection (oracle-comparable)

@@ -1,0 +1,299 @@
+"""Set-sharded parallel LRU simulation.
+
+Cache sets never interact: the LRU outcome of a set depends only on that
+set's own access subsequence (the same independence the array engine's
+wave scheduling exploits within one process).  This module partitions
+the *expanded* line-touch stream by set index into K shards, replays
+each shard through its own :class:`~repro.cachesim.engine.ArrayLRUEngine`
+— optionally in worker processes — and merges the results so they are
+**bit-identical** to the single-process run:
+
+* Per-label hits / misses / writebacks merge by exact integer summation
+  over disjoint access subsets.
+* Residency events carry *local* steps out of each shard (an engine
+  numbers accesses by its own clock); they are remapped through the
+  shard's global-position array (``global_step = positions[local_step -
+  1 - clock_before] + 1``) and merged across shards by the same stable
+  ``step * 2 + kind`` sort the engine uses within a chunk — evictions
+  precede the insertion that caused them, steps are globally unique per
+  access, so the merged event sequence (and therefore the float
+  residency-integral accumulation order) is exactly the single-process
+  one.
+
+Each shard engine allocates the full geometry but only ever touches its
+own sets, so a flush or residency count over all shards partitions the
+cache exactly.  Worker processes receive the engine state
+(:meth:`~repro.cachesim.engine.ArrayLRUEngine.state_dict`) and return
+the updated snapshot, keeping warm-cache multi-``run`` semantics;
+``jobs=1`` replays the shards inline in shard order with no pickling.
+
+When does sharding pay off?  Partitioning costs one pass over the
+expanded stream plus, with ``jobs > 1``, pickling roughly 13 bytes per
+expanded reference each way — worthwhile only when per-shard replay
+dominates, i.e. multi-million-reference traces on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.cachesim.configs import CacheGeometry
+from repro.cachesim.engine import (
+    DEFAULT_CHUNK_SIZE,
+    ArrayLRUEngine,
+)
+from repro.cachesim.stats import CacheStats
+
+
+def shard_of_sets(num_sets: int, num_shards: int) -> np.ndarray:
+    """Shard index owning each cache set (round-robin by set index)."""
+    return np.arange(num_sets, dtype=np.int64) % num_shards
+
+
+def partition_expanded(
+    line_ids: np.ndarray,
+    is_write: np.ndarray,
+    label_ids: np.ndarray,
+    num_sets: int,
+    num_shards: int,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Split an expanded line-touch stream into per-shard substreams.
+
+    Returns one ``(positions, line_ids, is_write, label_ids)`` tuple per
+    shard, where ``positions`` are the entries' indices in the original
+    stream (ascending, so each set's access order is preserved and the
+    local→global position map is monotone).
+    """
+    if num_sets & (num_sets - 1) == 0:
+        set_idx = line_ids & (num_sets - 1)
+    else:
+        set_idx = line_ids % num_sets
+    shard_idx = set_idx % num_shards
+    shards = []
+    for shard in range(num_shards):
+        positions = np.flatnonzero(shard_idx == shard)
+        shards.append(
+            (
+                positions,
+                line_ids[positions],
+                is_write[positions],
+                label_ids[positions],
+            )
+        )
+    return shards
+
+
+def _remap_events(
+    events, positions: np.ndarray, clock_before: int, base_step: int
+):
+    """Translate a shard's local event steps to global stream steps.
+
+    ``clock_before`` is the shard engine's clock before this replay
+    (local steps within the run are relative to it); ``base_step`` is
+    the whole simulation's cumulative touch count before this run, so
+    warm multi-run sequences keep globally monotone steps exactly like
+    the single-engine clock does.
+    """
+    if events is None:
+        return None
+    steps, kinds, event_labels = events
+    if steps.size:
+        steps = base_step + positions[steps - 1 - clock_before] + 1
+    return steps, kinds, event_labels
+
+
+def _replay_shard(payload):
+    """Worker-process entry: replay one shard from an engine snapshot.
+
+    ``payload`` = (geometry, chunk_size, strategy, state, positions,
+    line_ids, is_write, label_ids, labels, collect_events, base_step).
+    Returns ``(stats, events-with-global-steps, new-state)``.
+    """
+    (
+        geometry,
+        chunk_size,
+        strategy,
+        state,
+        positions,
+        line_ids,
+        is_write,
+        label_ids,
+        labels,
+        collect_events,
+        base_step,
+    ) = payload
+    engine = ArrayLRUEngine(geometry, chunk_size=chunk_size, strategy=strategy)
+    if state is not None:
+        engine.load_state(state)
+    clock_before = engine.clock
+    stats = CacheStats()
+    events = engine.replay(
+        line_ids, is_write, label_ids, labels, stats, collect_events
+    )
+    return (
+        stats,
+        _remap_events(events, positions, clock_before, base_step),
+        engine.state_dict(),
+    )
+
+
+def merge_events(shard_events: list):
+    """Merge per-shard event streams into global chronological order.
+
+    Steps are unique per access, and an eviction shares its insertion's
+    step (same shard, concatenated evict-before-insert), so the
+    ``step * 2 + kind`` stable sort reproduces the exact single-process
+    event order.
+    """
+    collected = [e for e in shard_events if e is not None and e[0].size]
+    if not collected:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.int8), np.empty(0, dtype=np.int32)
+    steps = np.concatenate([e[0] for e in collected])
+    kinds = np.concatenate([e[1] for e in collected])
+    labels = np.concatenate([e[2] for e in collected])
+    order = np.argsort(steps * 2 + kinds, kind="stable")
+    return steps[order], kinds[order], labels[order]
+
+
+class ShardedLRUSimulator:
+    """K independent shard engines presenting the one-engine interface.
+
+    Drop-in for :class:`~repro.cachesim.engine.ArrayLRUEngine` as seen
+    by :class:`~repro.cachesim.simulator.CacheSimulator`: ``replay`` /
+    ``flush`` / ``resident_lines`` / ``resident_lines_for`` /
+    ``label_name`` / ``clock``.  ``jobs`` worker processes replay the
+    shards (``jobs=1`` runs them inline, in shard order, with no
+    pickling or state copies).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        num_shards: int,
+        jobs: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        strategy: str = "adaptive",
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.geometry = geometry
+        self.num_shards = int(num_shards)
+        self.jobs = int(jobs)
+        self.chunk_size = int(chunk_size)
+        self.strategy = strategy
+        self._engines = [
+            ArrayLRUEngine(geometry, chunk_size=chunk_size, strategy=strategy)
+            for _ in range(self.num_shards)
+        ]
+        #: Total expanded touches replayed (mirrors the engine clock).
+        self.clock = 0
+        # Mirror of every shard engine's label table: each replay
+        # interns the same trace label list in the same order, so the
+        # tables stay identical and event label ids decode here.
+        self._labels: list[str] = []
+        self._label_ids: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _intern_all(self, labels: list[str]) -> None:
+        for name in labels:
+            if name not in self._label_ids:
+                self._label_ids[name] = len(self._labels)
+                self._labels.append(name)
+
+    def label_name(self, lid: int) -> str:
+        """Label string for an engine-global label id."""
+        return self._labels[lid]
+
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        line_ids: np.ndarray,
+        is_write: np.ndarray,
+        label_ids: np.ndarray,
+        labels: list[str],
+        stats: CacheStats,
+        collect_events: bool = False,
+    ):
+        """Shard, replay, and merge; same contract as the engine's replay."""
+        self._intern_all(labels)
+        shards = partition_expanded(
+            line_ids,
+            is_write,
+            label_ids,
+            self.geometry.num_sets,
+            self.num_shards,
+        )
+        live = [i for i, s in enumerate(shards) if s[0].size]
+        if self.jobs > 1 and len(live) > 1:
+            shard_events = self._replay_pool(
+                shards, live, labels, stats, collect_events
+            )
+        else:
+            shard_events = self._replay_inline(
+                shards, live, labels, stats, collect_events
+            )
+        self.clock += len(line_ids)
+        if not collect_events:
+            return None
+        return merge_events(shard_events)
+
+    def _replay_inline(self, shards, live, labels, stats, collect_events):
+        shard_events = []
+        for i in live:
+            positions, ids, writes, lids = shards[i]
+            engine = self._engines[i]
+            clock_before = engine.clock
+            events = engine.replay(
+                ids, writes, lids, labels, stats, collect_events
+            )
+            shard_events.append(
+                _remap_events(events, positions, clock_before, self.clock)
+            )
+        return shard_events
+
+    def _replay_pool(self, shards, live, labels, stats, collect_events):
+        payloads = [
+            (
+                self.geometry,
+                self.chunk_size,
+                self.strategy,
+                self._engines[i].state_dict(),
+                shards[i][0],
+                shards[i][1],
+                shards[i][2],
+                shards[i][3],
+                labels,
+                collect_events,
+                self.clock,
+            )
+            for i in live
+        ]
+        workers = min(self.jobs, len(live))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_replay_shard, payloads))
+        shard_events = []
+        for i, (shard_stats, events, state) in zip(live, results):
+            self._engines[i].load_state(state)
+            stats.merge(shard_stats)
+            shard_events.append(events)
+        return shard_events
+
+    # ------------------------------------------------------------------
+    def flush(self, stats: CacheStats) -> int:
+        """Evict every shard, charging writebacks for dirty lines."""
+        return sum(engine.flush(stats) for engine in self._engines)
+
+    def resident_lines(self) -> int:
+        """Resident lines over all shards (shards hold disjoint sets)."""
+        return sum(engine.resident_lines() for engine in self._engines)
+
+    def resident_lines_for(self, label: str) -> int:
+        """Resident lines owned by ``label`` over all shards."""
+        return sum(
+            engine.resident_lines_for(label) for engine in self._engines
+        )

@@ -29,11 +29,14 @@ import numpy as np
 from repro.cachesim.cache import SetAssociativeCache, _Line
 from repro.cachesim.configs import CacheGeometry
 from repro.cachesim.engine import (
+    AUTO_ARRAY_MIN_REFS,
     DEFAULT_CHUNK_SIZE,
     EVENT_EVICT,
     ArrayLRUEngine,
+    CacheEngineError,
     check_engine,
 )
+from repro.cachesim.sharding import ShardedLRUSimulator
 from repro.cachesim.stats import CacheStats
 from repro.trace.reference import ReferenceTrace
 
@@ -120,7 +123,10 @@ class CacheSimulator:
     engine:
         ``"auto"`` (default), ``"array"`` or ``"reference"`` — see the
         module docstring.  Both engines produce bit-identical
-        statistics for LRU.
+        statistics for LRU.  ``"auto"`` with LRU resolves *lazily* at
+        the first :meth:`run`, routing to the array engine only when
+        the expanded trace holds at least ``auto_min_refs`` line
+        touches (below that the dict oracle is faster).
     chunk_size:
         Batch size (expanded line touches) for the array engine's
         chunked replay.
@@ -128,6 +134,19 @@ class CacheSimulator:
         Array-engine in-chunk replay strategy (``"adaptive"``/``"wave"``/
         ``"scalar"``); all three are bit-identical, ``"adaptive"``
         picks per chunk on estimated throughput.
+    shards:
+        Number of set-index shards (default 1 = unsharded).  ``K > 1``
+        partitions the expanded stream by set index and replays each
+        shard through its own array engine — bit-identical merged
+        results (see :mod:`repro.cachesim.sharding`).  Requires the LRU
+        policy and the array engine.
+    jobs:
+        Worker processes for sharded replay; ``1`` (default) replays
+        shards inline in this process.
+    auto_min_refs:
+        Expanded-trace size at which ``engine="auto"`` picks the array
+        engine (default
+        :data:`~repro.cachesim.engine.AUTO_ARRAY_MIN_REFS`).
     """
 
     def __init__(
@@ -139,24 +158,63 @@ class CacheSimulator:
         engine: str = "auto",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         strategy: str = "adaptive",
+        shards: int = 1,
+        jobs: int = 1,
+        auto_min_refs: int = AUTO_ARRAY_MIN_REFS,
     ):
         if policy not in SetAssociativeCache.POLICIES:
             raise ValueError(
                 f"policy must be one of {SetAssociativeCache.POLICIES}, "
                 f"got {policy!r}"
             )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.geometry = geometry
         self.policy = policy
-        self.engine = check_engine(engine, policy)
+        self._seed = seed
+        self._chunk_size = chunk_size
+        self._strategy = strategy
+        self._auto_min_refs = int(auto_min_refs)
+        self.shards = int(shards)
+        self.jobs = int(jobs)
+        resolved = check_engine(engine, policy)
         self._stats = CacheStats()
-        if self.engine == "array":
-            self._array: ArrayLRUEngine | None = ArrayLRUEngine(
+        #: The dict-based oracle; ``None`` under the array engine.
+        self.cache: SetAssociativeCache | None = None
+        self._array: ArrayLRUEngine | ShardedLRUSimulator | None = None
+        if self.shards > 1:
+            # Sharded replay rides on the array engine's set
+            # independence; the oracle path cannot be partitioned.
+            if policy != "lru":
+                raise CacheEngineError(
+                    f"sharded simulation requires the LRU policy, "
+                    f"got policy={policy!r}"
+                )
+            if resolved != "array":
+                raise CacheEngineError(
+                    "sharded simulation (shards > 1) requires the array "
+                    "engine; drop engine='reference' or use shards=1"
+                )
+            self.engine = "array"
+            self._array = ShardedLRUSimulator(
+                geometry,
+                self.shards,
+                jobs=self.jobs,
+                chunk_size=chunk_size,
+                strategy=strategy,
+            )
+        elif engine == "auto" and policy == "lru":
+            # Deferred: routed by expanded-trace size at the first run.
+            self.engine = "auto"
+        elif resolved == "array":
+            self.engine = "array"
+            self._array = ArrayLRUEngine(
                 geometry, chunk_size=chunk_size, strategy=strategy
             )
-            #: The dict-based oracle; ``None`` under the array engine.
-            self.cache: SetAssociativeCache | None = None
         else:
-            self._array = None
+            self.engine = "reference"
             self.cache = SetAssociativeCache(
                 geometry, stats=self._stats, policy=policy, seed=seed
             )
@@ -211,20 +269,51 @@ class CacheSimulator:
         """Number of lines currently resident in the cache."""
         if self._array is not None:
             return self._array.resident_lines()
+        if self.cache is None:  # auto engine not yet resolved: cold
+            return 0
         return self.cache.resident_lines()
 
     def resident_lines_for(self, label: str) -> int:
         """Number of resident lines owned by ``label``."""
         if self._array is not None:
             return self._array.resident_lines_for(label)
+        if self.cache is None:
+            return 0
         return self.cache.resident_lines_for(label)
 
     # -- trace replay ----------------------------------------------------
+    def _resolve_auto(self, n_refs: int) -> None:
+        """Pick the engine for a deferred ``engine="auto"`` by trace size.
+
+        The array engine's batching overhead loses to the dict oracle
+        below :data:`~repro.cachesim.engine.AUTO_ARRAY_MIN_REFS`
+        expanded touches; the first run's size decides, and the engine
+        then stays fixed for the simulator's lifetime (warm-cache
+        multi-run callers keep one state).
+        """
+        if n_refs >= self._auto_min_refs:
+            self.engine = "array"
+            self._array = ArrayLRUEngine(
+                self.geometry,
+                chunk_size=self._chunk_size,
+                strategy=self._strategy,
+            )
+        else:
+            self.engine = "reference"
+            self.cache = SetAssociativeCache(
+                self.geometry,
+                stats=self._stats,
+                policy=self.policy,
+                seed=self._seed,
+            )
+
     def run(self, trace: ReferenceTrace) -> CacheStats:
         """Simulate ``trace``; returns the accumulated stats object."""
         line_ids, writes, label_ids = _expand_lines(
             trace, self.geometry.line_size
         )
+        if self.engine == "auto":
+            self._resolve_auto(len(line_ids))
         if self._array is not None:
             return self._run_array(trace, line_ids, writes, label_ids)
         if self.policy != "lru":
@@ -330,6 +419,8 @@ class CacheSimulator:
         """Drain the cache, charging writebacks for dirty lines."""
         if self._array is not None:
             return self._array.flush(self._stats)
+        if self.cache is None:  # auto engine not yet resolved: cold
+            return 0
         return self.cache.flush()
 
 
@@ -339,9 +430,13 @@ def simulate_trace(
     flush_at_end: bool = False,
     policy: str = "lru",
     engine: str = "auto",
+    shards: int = 1,
+    jobs: int = 1,
 ) -> CacheStats:
     """One-shot convenience: simulate a whole trace on a cold cache."""
-    sim = CacheSimulator(geometry, policy=policy, engine=engine)
+    sim = CacheSimulator(
+        geometry, policy=policy, engine=engine, shards=shards, jobs=jobs
+    )
     sim.run(trace)
     if flush_at_end:
         sim.flush()

@@ -43,6 +43,14 @@ class AnalyzerConfig:
         Cache-simulation engine for the ground-truth path
         (``"auto"``/``"array"``/``"reference"``); statistics are
         bit-identical either way for LRU.
+    jobs / shards:
+        Set-sharded (parallel) simulation for the ground-truth path;
+        defaults keep it single-process and unsharded.  Results stay
+        bit-identical (see :mod:`repro.cachesim.sharding`).
+    trace_cache:
+        Optional :class:`~repro.trace.cache.TraceCache` (or cache
+        directory path) reusing persisted kernel traces across
+        ground-truth evaluations.
     """
 
     geometry: CacheGeometry
@@ -50,6 +58,9 @@ class AnalyzerConfig:
     flops_rate: float = 2.0e9
     bandwidth: float = 12.8e9
     engine: str = "auto"
+    jobs: int = 1
+    shards: int = 1
+    trace_cache: object = None
 
 
 class DVFAnalyzer:
@@ -125,9 +136,13 @@ class DVFAnalyzer:
         """Ground-truth DVF report: ``N_ha`` from the cache simulator."""
         if runtime is None:
             runtime = self.runtime_provider(kernel, workload)
-        trace = kernel.trace(workload)
+        trace = kernel.trace(workload, cache=self.config.trace_cache)
         stats = simulate_trace(
-            trace, self.config.geometry, engine=self.config.engine
+            trace,
+            self.config.geometry,
+            engine=self.config.engine,
+            shards=self.config.shards,
+            jobs=self.config.jobs,
         )
         nha = {
             name: float(stats.misses(name))

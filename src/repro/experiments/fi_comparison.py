@@ -67,6 +67,7 @@ def run_fi_comparison(
     timeout: float | None = None,
     checkpoint_dir: str | Path | None = None,
     engine: str = "auto",
+    trace_cache=None,
 ) -> list[FIComparisonRow]:
     """Run campaigns and compare against DVF for injectable kernels.
 
@@ -76,10 +77,16 @@ def run_fi_comparison(
     already there, so an interrupted comparison re-runs only what is
     missing.  On Ctrl-C the completed rows are returned (the current
     campaign having flushed its checkpoint first).  ``engine`` selects
-    the cache-simulation engine used by any simulated evaluation.
+    the cache-simulation engine used by any simulated evaluation, and
+    ``trace_cache`` lets those evaluations reuse traces persisted by a
+    fig4 run over the same workloads.
     """
     analyzer = DVFAnalyzer(
-        AnalyzerConfig(geometry=PAPER_CACHES["8MB"], engine=engine)
+        AnalyzerConfig(
+            geometry=PAPER_CACHES["8MB"],
+            engine=engine,
+            trace_cache=trace_cache,
+        )
     )
     rows: list[FIComparisonRow] = []
     for name in kernels:

@@ -15,6 +15,7 @@ from repro.core.report import format_table
 from repro.core.validation import validate_kernel
 from repro.experiments.configs import FIG4_CACHES, KERNEL_ORDER, WORKLOADS
 from repro.kernels.registry import KERNELS
+from repro.trace.cache import as_trace_cache
 
 
 @dataclass(frozen=True)
@@ -36,20 +37,37 @@ def run_fig4(
     kernels: tuple[str, ...] = KERNEL_ORDER,
     caches: dict | None = None,
     engine: str = "auto",
+    jobs: int = 1,
+    shards: int = 1,
+    trace_cache=None,
 ) -> list[Fig4Row]:
     """Regenerate the Figure 4 data series.
 
     ``engine`` selects the cache-simulation engine for the ground-truth
     path (statistics are bit-identical between engines for LRU).
+    ``trace_cache`` (a :class:`~repro.trace.cache.TraceCache` or cache
+    directory path) collects each kernel's trace once per workload
+    instead of once per cache cell — the sweep's dominant cost;
+    ``shards``/``jobs`` parallelise the simulation itself.  None of the
+    three changes any reported number.
     """
     caches = caches if caches is not None else FIG4_CACHES
+    # One TraceCache instance for the whole sweep, so the per-cell
+    # lookups share hit/miss counters (and CI can assert on them).
+    trace_cache = as_trace_cache(trace_cache)
     workloads = WORKLOADS[tier]
     rows: list[Fig4Row] = []
     for cache_name, geometry in caches.items():
         for kernel_name in kernels:
             kernel = KERNELS[kernel_name]
             result = validate_kernel(
-                kernel, workloads[kernel_name], geometry, engine=engine
+                kernel,
+                workloads[kernel_name],
+                geometry,
+                engine=engine,
+                jobs=jobs,
+                shards=shards,
+                trace_cache=trace_cache,
             )
             for s in result.structures:
                 rows.append(

@@ -45,18 +45,29 @@ def run_fig5(
     caches: dict | None = None,
     fit: float = DEFAULT_FIT,
     engine: str = "auto",
+    jobs: int = 1,
+    shards: int = 1,
+    trace_cache=None,
 ) -> list[Fig5Cell]:
     """Regenerate the Figure 5 data series (analytical path only).
 
-    ``engine`` is carried in the analyzer config for any simulated
-    cross-checks callers run alongside the analytical sweep.
+    ``engine``/``jobs``/``shards``/``trace_cache`` are carried in the
+    analyzer config for any simulated cross-checks callers run
+    alongside the analytical sweep.
     """
     caches = caches if caches is not None else FIG5_CACHES
     workloads = WORKLOADS[tier]
     cells: list[Fig5Cell] = []
     for cache_name, geometry in caches.items():
         analyzer = DVFAnalyzer(
-            AnalyzerConfig(geometry=geometry, fit=fit, engine=engine)
+            AnalyzerConfig(
+                geometry=geometry,
+                fit=fit,
+                engine=engine,
+                jobs=jobs,
+                shards=shards,
+                trace_cache=trace_cache,
+            )
         )
         for kernel_name in kernels:
             kernel = KERNELS[kernel_name]

@@ -31,17 +31,47 @@ EXIT_CHECKPOINT_MISMATCH = 3
 EXIT_CHECKPOINT_CORRUPT = 4
 
 
+def _sim_parallelism(args) -> tuple[int, int]:
+    """(jobs, shards) for sharded simulation from the CLI flags.
+
+    ``--shards`` defaults to the job count, so ``--jobs 4`` alone gets
+    a 4-shard, 4-worker simulation; results are bit-identical at any
+    combination.
+    """
+    jobs = args.jobs if args.jobs is not None else 1
+    shards = args.shards if args.shards is not None else jobs
+    return jobs, shards
+
+
 def _fig4(args) -> str:
     from repro.experiments.fig4_verification import render_fig4, run_fig4
 
-    return render_fig4(run_fig4(tier=args.tier, engine=args.engine))
+    jobs, shards = _sim_parallelism(args)
+    return render_fig4(
+        run_fig4(
+            tier=args.tier,
+            engine=args.engine,
+            jobs=jobs,
+            shards=shards,
+            trace_cache=args.trace_cache,
+        )
+    )
 
 
 def _fig5(args) -> str:
     from repro.experiments.fig5_profiling import render_fig5, run_fig5
 
     tier = args.tier if args.tier != "verification" else "profiling"
-    return render_fig5(run_fig5(tier=tier, engine=args.engine))
+    jobs, shards = _sim_parallelism(args)
+    return render_fig5(
+        run_fig5(
+            tier=tier,
+            engine=args.engine,
+            jobs=jobs,
+            shards=shards,
+            trace_cache=args.trace_cache,
+        )
+    )
 
 
 def _fig6(args) -> str:
@@ -74,6 +104,7 @@ def _fi(args) -> str:
             timeout=args.timeout,
             checkpoint_dir=args.resume,
             engine=args.engine,
+            trace_cache=args.trace_cache,
         )
     )
 
@@ -137,9 +168,28 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="fi: run trials in a crash-isolated pool of N worker "
-        "processes (a crashing trial counts as CRASH instead of "
-        "aborting the campaign)",
+        help="worker processes: fi runs trials in a crash-isolated pool "
+        "of N workers (a crashing trial counts as CRASH instead of "
+        "aborting the campaign); fig4/fig5 replay N set-shards of the "
+        "cache simulation in parallel (bit-identical results)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fig4/fig5: split the cache simulation into K set-index "
+        "shards (default: the --jobs count); any K gives bit-identical "
+        "statistics",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="persist kernel traces under DIR keyed by (kernel code, "
+        "workload params, schema); fig4 then traces each kernel once "
+        "per workload instead of once per cache cell, and later "
+        "fig4/fig5/fi runs reuse the artifacts",
     )
     parser.add_argument(
         "--timeout",

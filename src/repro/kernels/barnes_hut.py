@@ -206,13 +206,19 @@ class BarnesHutKernel(Kernel):
         recorder.record_elements("P", np.arange(n, dtype=np.int64), True)
         forces = np.zeros((n, 2))
         visited: list[int] = []
+        # Per-body (P read, visited tree nodes) segment pairs, flushed
+        # through one batched record_segments call — same reference
+        # order as the per-body recording it replaces.
+        segments: list[tuple[str, np.ndarray, bool]] = []
+        body_index = np.arange(n, dtype=np.int64)
         for body in range(n):
-            recorder.record_element("P", body, False)
+            segments.append(("P", body_index[body : body + 1], False))
             visits: list[int] = []
             fx, fy = self._force_walk(tree, positions, body, theta, visits.append)
-            recorder.record_elements("T", np.asarray(visits, dtype=np.int64), False)
+            segments.append(("T", np.asarray(visits, dtype=np.int64), False))
             forces[body] = (fx, fy)
             visited.append(len(visits))
+        recorder.record_segments(segments)
         return forces
 
     # ------------------------------------------------------------------

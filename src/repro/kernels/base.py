@@ -17,6 +17,7 @@ harness compare them mechanically.
 from __future__ import annotations
 
 import math
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -24,6 +25,7 @@ from typing import Any, Mapping
 from repro.cachesim.configs import CacheGeometry
 from repro.diagnostics import DiagnosticSink, check_mode
 from repro.patterns.base import AccessPattern, PatternError
+from repro.trace.cache import TraceCache, as_trace_cache
 from repro.trace.recorder import TraceRecorder
 from repro.trace.reference import ReferenceTrace
 
@@ -94,8 +96,23 @@ class Kernel(ABC):
     def run_traced(self, workload: Workload, recorder: TraceRecorder) -> Any:
         """Run the kernel, recording references; returns the numeric result."""
 
-    def trace(self, workload: Workload) -> ReferenceTrace:
-        """Convenience: run instrumented and return the finished trace."""
+    def trace(
+        self,
+        workload: Workload,
+        cache: "TraceCache | str | os.PathLike | None" = None,
+    ) -> ReferenceTrace:
+        """Run instrumented and return the finished trace.
+
+        ``cache`` — a :class:`~repro.trace.cache.TraceCache` or a cache
+        directory path — reuses a previously collected artifact when the
+        kernel code, workload parameters, and trace schema all match,
+        collecting (and storing) the trace only on a miss.  Tracing runs
+        the kernel under Python-level instrumentation, so a warm cache
+        skips the slowest stage of every simulation-backed experiment.
+        """
+        trace_cache = as_trace_cache(cache)
+        if trace_cache is not None:
+            return trace_cache.get_or_trace(self, workload)
         recorder = TraceRecorder()
         self.run_traced(workload, recorder)
         return recorder.finish()

@@ -113,20 +113,31 @@ class MonteCarloKernel(Kernel):
         )
         total = 0.0
         samples = rng.random(lookups)
+        row_offsets = np.arange(nuclides, dtype=np.int64)
+        # Per-lookup segments, flushed through one batched
+        # record_segments call: the reference order (each lookup's G
+        # probes in probe order, then its E row) is exactly what the
+        # per-element calls produced, without per-probe recorder
+        # overhead.
+        segments: list[tuple[str, np.ndarray, bool]] = []
         for sample in samples:
-            # Binary search on G, recording each probe.
+            # Binary search on G, collecting each probe.
+            probes: list[int] = []
             lo, hi = 0, grid - 1
             while lo < hi:
                 mid = (lo + hi) // 2
-                recorder.record_element("G", mid, False)
+                probes.append(mid)
                 if energies[mid] < sample:
                     lo = mid + 1
                 else:
                     hi = mid
+            segments.append(
+                ("G", np.asarray(probes, dtype=np.int64), False)
+            )
             # Gather the cross-section row for every nuclide.
-            row = lo * nuclides + np.arange(nuclides, dtype=np.int64)
-            recorder.record_elements("E", row, False)
+            segments.append(("E", lo * nuclides + row_offsets, False))
             total += float(xs[lo].sum())
+        recorder.record_segments(segments)
         return total
 
     # ------------------------------------------------------------------

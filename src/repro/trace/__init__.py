@@ -17,10 +17,11 @@ replace binary instrumentation with an explicit recording layer:
 """
 
 from repro.trace.address_space import AddressSpace, Segment
+from repro.trace.cache import TraceCache, as_trace_cache, trace_key
 from repro.trace.recorder import TraceRecorder
 from repro.trace.reference import MemoryReference, ReferenceTrace
 from repro.trace.traced_array import TracedArray
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import TRACE_SCHEMA_VERSION, load_trace, save_trace
 
 __all__ = [
     "AddressSpace",
@@ -29,6 +30,10 @@ __all__ = [
     "MemoryReference",
     "ReferenceTrace",
     "TracedArray",
+    "TraceCache",
+    "as_trace_cache",
+    "trace_key",
+    "TRACE_SCHEMA_VERSION",
     "save_trace",
     "load_trace",
 ]

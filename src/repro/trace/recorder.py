@@ -184,21 +184,48 @@ class TraceRecorder:
         This reproduces the instruction-level interleaving of loops like
         ``for j: acc += A[i,j] * p[j]`` where ``A`` and ``p`` references
         alternate — the ordering the cache actually sees.
+
+        Raises :class:`ValueError` on malformed input: a part that is not
+        a ``(label, indices, is_write)`` triple, an empty or non-1-D
+        index stream, or streams of unequal length.
         """
         if not parts:
             return
-        n = len(np.asarray(parts[0][1]))
-        k = len(parts)
+        streams = []
+        for pos, part in enumerate(parts):
+            try:
+                label, indices, is_write = part
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"record_interleaved part {pos} is not a "
+                    f"(label, indices, is_write) triple: {part!r}"
+                ) from None
+            idx = np.asarray(indices, dtype=np.int64)
+            if idx.ndim != 1:
+                raise ValueError(
+                    f"record_interleaved stream {pos} ({label!r}) must be "
+                    f"1-D, got shape {idx.shape}"
+                )
+            if idx.size == 0:
+                raise ValueError(
+                    f"record_interleaved stream {pos} ({label!r}) is empty"
+                )
+            streams.append((label, idx, bool(is_write)))
+        n = streams[0][1].size
+        k = len(streams)
         addresses = np.empty(n * k, dtype=np.int64)
         sizes = np.empty(n * k, dtype=np.int64)
         writes = np.empty(n * k, dtype=bool)
         label_ids = np.empty(n * k, dtype=np.int32)
-        for slot, (label, indices, is_write) in enumerate(parts):
+        for slot, (label, idx, is_write) in enumerate(streams):
             seg = self.address_space.segment(label)
-            idx = np.asarray(indices, dtype=np.int64)
             if idx.size != n:
-                raise ValueError("all interleaved streams must have equal length")
-            if idx.size and (idx.min() < 0 or idx.max() >= seg.num_elements):
+                raise ValueError(
+                    f"all interleaved streams must have equal length "
+                    f"(stream 0 has {n}, stream {slot} ({label!r}) has "
+                    f"{idx.size})"
+                )
+            if idx.min() < 0 or idx.max() >= seg.num_elements:
                 raise IndexError(f"element indices out of range for {label!r}")
             addresses[slot::k] = seg.base + idx * seg.element_size
             sizes[slot::k] = seg.element_size
@@ -209,6 +236,66 @@ class TraceRecorder:
         self._write.push_array(writes)
         self._label.push_array(label_ids)
         self._count += n * k
+
+    def record_segments(
+        self, parts: list[tuple[str, np.ndarray, bool]]
+    ) -> None:
+        """Record several variable-length element streams back to back.
+
+        Unlike :meth:`record_interleaved` the streams are concatenated,
+        not round-robin merged: all of part 0's references land before
+        part 1's, and so on.  This batches irregular hot loops — e.g.
+        Monte Carlo's per-lookup binary-search probes followed by the
+        cross-section row, or Barnes-Hut's per-body (position, visited
+        tree nodes) pairs — into four ``push_array`` calls for the whole
+        batch while producing exactly the same reference order as the
+        per-element calls it replaces.
+        """
+        if not parts:
+            return
+        addr_parts: list[np.ndarray] = []
+        seg_lengths: list[int] = []
+        seg_sizes: list[int] = []
+        seg_writes: list[bool] = []
+        seg_label_ids: list[int] = []
+        for pos, part in enumerate(parts):
+            try:
+                label, indices, is_write = part
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"record_segments part {pos} is not a "
+                    f"(label, indices, is_write) triple: {part!r}"
+                ) from None
+            seg = self.address_space.segment(label)
+            idx = np.asarray(indices, dtype=np.int64)
+            if idx.ndim != 1:
+                raise ValueError(
+                    f"record_segments stream {pos} ({label!r}) must be "
+                    f"1-D, got shape {idx.shape}"
+                )
+            if idx.size == 0:
+                continue
+            if idx.min() < 0 or idx.max() >= seg.num_elements:
+                raise IndexError(f"element indices out of range for {label!r}")
+            addr_parts.append(seg.base + idx * seg.element_size)
+            seg_lengths.append(idx.size)
+            seg_sizes.append(seg.element_size)
+            seg_writes.append(bool(is_write))
+            seg_label_ids.append(self._intern(label))
+        if not addr_parts:
+            return
+        lengths = np.asarray(seg_lengths, dtype=np.int64)
+        self._addr.push_array(np.concatenate(addr_parts))
+        self._size.push_array(
+            np.repeat(np.asarray(seg_sizes, dtype=np.int64), lengths)
+        )
+        self._write.push_array(
+            np.repeat(np.asarray(seg_writes, dtype=bool), lengths)
+        )
+        self._label.push_array(
+            np.repeat(np.asarray(seg_label_ids, dtype=np.int32), lengths)
+        )
+        self._count += int(lengths.sum())
 
     # ------------------------------------------------------------------
     # finish

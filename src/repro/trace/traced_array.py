@@ -4,9 +4,20 @@ Irregular kernels (the Barnes-Hut tree walk, Monte Carlo table lookups)
 index data element-by-element under data-dependent control flow; wrapping
 their arrays in :class:`TracedArray` instruments them without touching
 the algorithm code — the same role Pin plays for compiled binaries.
+
+Recording is O(touched elements), not O(array size): integer keys (and
+full tuples of integers) translate to flat indices arithmetically, 1-D
+slices become ranges, and only genuinely irregular keys (masks, mixed
+tuples, N-D fancy indexing) fall back to gathering from a flat-index
+view that is materialised once per array — never per access.  The
+:meth:`TracedArray.gather` / :meth:`TracedArray.scatter` pair records a
+whole index vector with one batched recorder call, the hot-loop API for
+table lookups and tree walks.
 """
 
 from __future__ import annotations
+
+import operator
 
 import numpy as np
 
@@ -51,6 +62,19 @@ class TracedArray:
             self._data[...] = fill
         itemsize = element_size or self._data.dtype.itemsize
         recorder.allocate(label, int(self._data.size), itemsize)
+        self._shape = self._data.shape
+        self._size = int(self._data.size)
+        # Row-major multipliers: flat = sum(index[d] * mults[d]).
+        mults: list[int] = []
+        acc = 1
+        for dim in reversed(self._shape):
+            mults.append(acc)
+            acc *= int(dim)
+        self._mults = tuple(reversed(mults))
+        self._flat_view = self._data.reshape(-1)
+        #: Lazily materialised np.arange(size).reshape(shape) for the
+        #: irregular-key fallback; built at most once per array.
+        self._index_view: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -70,28 +94,131 @@ class TracedArray:
         return len(self._data)
 
     # ------------------------------------------------------------------
+    # flat-index translation
+    # ------------------------------------------------------------------
+    def _norm_index(self, value, dim: int) -> int:
+        idx = operator.index(value)
+        if idx < 0:
+            idx += dim
+        if not 0 <= idx < dim:
+            raise IndexError(
+                f"index {value} out of range for {self.label!r} "
+                f"(dimension size {dim})"
+            )
+        return idx
+
+    @staticmethod
+    def _is_int(value) -> bool:
+        # bool is an int subclass but means mask indexing to numpy.
+        return isinstance(value, (int, np.integer)) and not isinstance(
+            value, (bool, np.bool_)
+        )
+
+    def _scalar_flat(self, key) -> int | None:
+        """Flat index when ``key`` names exactly one element, else None."""
+        if self._is_int(key):
+            if len(self._shape) != 1:
+                return None
+            return self._norm_index(key, self._shape[0])
+        if isinstance(key, tuple) and len(key) == len(self._shape):
+            flat = 0
+            for value, dim, mult in zip(key, self._shape, self._mults):
+                if not self._is_int(value):
+                    return None
+                flat += self._norm_index(value, dim) * mult
+            return flat
+        return None
+
     def _flat_indices(self, key) -> np.ndarray:
         """Flat element indices touched by an indexing expression."""
-        idx = np.arange(self._data.size, dtype=np.int64).reshape(self._data.shape)
-        touched = idx[key]
+        if self._is_int(key) and len(self._shape) > 1:
+            # Row selection on an N-D array: a contiguous flat block.
+            block = self._mults[0]
+            start = self._norm_index(key, self._shape[0]) * block
+            return np.arange(start, start + block, dtype=np.int64)
+        if isinstance(key, slice) and len(self._shape) == 1:
+            start, stop, step = key.indices(self._shape[0])
+            return np.arange(start, stop, step, dtype=np.int64)
+        if (
+            isinstance(key, np.ndarray)
+            and key.ndim == 1
+            and key.dtype.kind in "iu"
+            and len(self._shape) == 1
+        ):
+            idx = key.astype(np.int64, copy=True)
+            neg = idx < 0
+            if neg.any():
+                idx[neg] += self._size
+            return idx
+        # Irregular key (mask, mixed tuple, N-D fancy indexing): gather
+        # from the flat-index view, built once per array.
+        if self._index_view is None:
+            self._index_view = np.arange(self._size, dtype=np.int64).reshape(
+                self._shape
+            )
+        touched = self._index_view[key]
         return np.atleast_1d(np.asarray(touched, dtype=np.int64)).ravel()
 
+    # ------------------------------------------------------------------
+    # recorded access
+    # ------------------------------------------------------------------
     def __getitem__(self, key):
-        flat = self._flat_indices(key)
-        if flat.size == 1:
-            self._recorder.record_element(self.label, int(flat[0]), is_write=False)
+        flat = self._scalar_flat(key)
+        if flat is not None:
+            self._recorder.record_element(self.label, flat, is_write=False)
         else:
-            self._recorder.record_elements(self.label, flat, is_write=False)
+            idx = self._flat_indices(key)
+            if idx.size == 1:
+                self._recorder.record_element(
+                    self.label, int(idx[0]), is_write=False
+                )
+            else:
+                self._recorder.record_elements(self.label, idx, is_write=False)
         return self._data[key]
 
     def __setitem__(self, key, value) -> None:
-        flat = self._flat_indices(key)
-        if flat.size == 1:
-            self._recorder.record_element(self.label, int(flat[0]), is_write=True)
+        flat = self._scalar_flat(key)
+        if flat is not None:
+            self._recorder.record_element(self.label, flat, is_write=True)
         else:
-            self._recorder.record_elements(self.label, flat, is_write=True)
+            idx = self._flat_indices(key)
+            if idx.size == 1:
+                self._recorder.record_element(
+                    self.label, int(idx[0]), is_write=True
+                )
+            else:
+                self._recorder.record_elements(self.label, idx, is_write=True)
         self._data[key] = value
 
+    # ------------------------------------------------------------------
+    # batched hot-loop access
+    # ------------------------------------------------------------------
+    def gather(self, indices) -> np.ndarray:
+        """Recorded batched read of *flat* element indices.
+
+        One vectorised recorder call for the whole index vector — the
+        fast path for table-lookup/tree-walk loops that would otherwise
+        record element by element.
+        """
+        idx = self._as_flat_vector(indices)
+        self._recorder.record_elements(self.label, idx, is_write=False)
+        return self._flat_view[idx]
+
+    def scatter(self, indices, values) -> None:
+        """Recorded batched write of *flat* element indices."""
+        idx = self._as_flat_vector(indices)
+        self._recorder.record_elements(self.label, idx, is_write=True)
+        self._flat_view[idx] = values
+
+    def _as_flat_vector(self, indices) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        neg = idx < 0
+        if neg.any():
+            idx = idx.copy()
+            idx[neg] += self._size
+        return idx
+
+    # ------------------------------------------------------------------
     def read_quiet(self, key):
         """Read without recording (for result checking in tests)."""
         return self._data[key]

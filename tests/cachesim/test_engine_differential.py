@@ -152,10 +152,53 @@ class TestDifferentialRandomized:
 
 
 class TestEngineSwitch:
-    def test_auto_routes_lru_to_array(self):
+    def test_auto_defers_until_first_run(self):
+        # auto + LRU resolves by expanded-trace size at the first run,
+        # not at construction.
         sim = CacheSimulator(CacheGeometry(4, 64, 32))
+        assert sim.engine == "auto"
+        assert sim.cache is None
+        assert sim.resident_lines() == 0
+        assert sim.flush() == 0
+
+    def test_auto_routes_small_trace_to_reference(self):
+        rng = np.random.default_rng(11)
+        trace = random_trace(rng, n=200)
+        sim = CacheSimulator(CacheGeometry(4, 64, 32))
+        sim.run(trace)
+        assert sim.engine == "reference"
+        assert sim.cache is not None
+
+    def test_auto_routes_large_trace_to_array(self):
+        rng = np.random.default_rng(12)
+        trace = random_trace(rng, n=300)
+        # Lower the threshold instead of building a 100k-ref trace.
+        sim = CacheSimulator(CacheGeometry(4, 64, 32), auto_min_refs=100)
+        sim.run(trace)
         assert sim.engine == "array"
         assert sim.cache is None
+
+    def test_auto_threshold_is_overridable(self):
+        rng = np.random.default_rng(13)
+        trace = random_trace(rng, n=50)
+        routed = {}
+        for threshold in (1, 10**9):
+            sim = CacheSimulator(
+                CacheGeometry(4, 64, 32), auto_min_refs=threshold
+            )
+            sim.run(trace)
+            routed[threshold] = sim.engine
+        assert routed == {1: "array", 10**9: "reference"}
+
+    def test_auto_resolution_sticks_across_runs(self):
+        rng = np.random.default_rng(14)
+        sim = CacheSimulator(CacheGeometry(4, 64, 32), auto_min_refs=100)
+        sim.run(random_trace(rng, n=300))
+        assert sim.engine == "array"
+        # A tiny follow-up trace must not flip the engine (state would
+        # be lost); the resolution is per-simulator, not per-run.
+        sim.run(random_trace(rng, n=5))
+        assert sim.engine == "array"
 
     @pytest.mark.parametrize("policy", ["fifo", "random"])
     def test_auto_routes_non_lru_to_reference(self, policy):

@@ -1,0 +1,177 @@
+"""Differential tests: set-sharded simulation vs the single-process run.
+
+Sharded replay (K > 1, optionally in worker processes) must be
+**bit-identical** to the unsharded array engine — which is itself
+bit-identical to the dict oracle — on per-label hits, misses,
+writebacks, resident lines, and residency integrals (float ``==``),
+across geometries, shard counts, warm multi-run sequences, and the
+process-pool path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    CacheEngineError,
+    CacheGeometry,
+    CacheSimulator,
+    ShardedLRUSimulator,
+    simulate_trace,
+)
+from repro.cachesim.sharding import merge_events, partition_expanded
+from repro.cachesim.simulator import _expand_lines
+
+from test_engine_differential import GEOMETRIES, assert_identical, random_trace
+
+
+def sharded_pair(geometry, shards, jobs=1, track=True):
+    base = CacheSimulator(
+        geometry, track_residency=track, engine="array"
+    )
+    sharded = CacheSimulator(
+        geometry,
+        track_residency=track,
+        engine="array",
+        shards=shards,
+        jobs=jobs,
+    )
+    return base, sharded
+
+
+class TestShardedBitIdentity:
+    @pytest.mark.parametrize("geometry", GEOMETRIES, ids=str)
+    @pytest.mark.parametrize("shards", [2, 3, 4, 7])
+    def test_sharded_matches_single_process(self, geometry, shards):
+        rng = np.random.default_rng(
+            abs(hash((geometry.num_sets, geometry.associativity, shards)))
+            % (1 << 32)
+        )
+        for trial in range(3):
+            trace = random_trace(rng, n=int(rng.integers(1, 1500)))
+            base, sharded = sharded_pair(geometry, shards)
+            base.run(trace)
+            sharded.run(trace)
+            assert_identical(sharded, base, trace.labels)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_warm_multi_run_matches(self, shards):
+        geometry = CacheGeometry(4, 64, 32)
+        rng = np.random.default_rng(17)
+        base, sharded = sharded_pair(geometry, shards)
+        for _ in range(4):
+            trace = random_trace(rng, n=int(rng.integers(100, 800)))
+            base.run(trace)
+            sharded.run(trace)
+            assert_identical(sharded, base, trace.labels)
+
+    def test_flush_matches(self):
+        geometry = CacheGeometry(4, 64, 32)
+        trace = random_trace(np.random.default_rng(5), n=1200)
+        base, sharded = sharded_pair(geometry, 4, track=False)
+        base.run(trace)
+        sharded.run(trace)
+        assert base.flush() == sharded.flush()
+        assert base.stats.as_dict() == sharded.stats.as_dict()
+        assert sharded.resident_lines() == 0
+
+    def test_process_pool_path_matches(self):
+        # jobs > 1 routes through ProcessPoolExecutor workers with
+        # engine-state round trips; results stay bit-identical.
+        geometry = CacheGeometry(4, 64, 32)
+        rng = np.random.default_rng(23)
+        base, sharded = sharded_pair(geometry, 4, jobs=2)
+        for _ in range(2):  # second run exercises warm state shipping
+            trace = random_trace(rng, n=900)
+            base.run(trace)
+            sharded.run(trace)
+            assert_identical(sharded, base, trace.labels)
+
+    def test_shards_exceeding_num_sets(self):
+        # More shards than sets: the excess shards stay empty.
+        geometry = CacheGeometry(4, 8, 32)
+        trace = random_trace(np.random.default_rng(7), n=600)
+        base, sharded = sharded_pair(geometry, 100)
+        base.run(trace)
+        sharded.run(trace)
+        assert_identical(sharded, base, trace.labels)
+
+    def test_single_shard_matches(self):
+        geometry = CacheGeometry(2, 24, 64)  # non-power-of-two sets
+        trace = random_trace(np.random.default_rng(9), n=700)
+        base = CacheSimulator(geometry, engine="array")
+        base.run(trace)
+        stats = simulate_trace(trace, geometry, shards=1)
+        assert stats.as_dict() == base.stats.as_dict()
+
+    def test_simulate_trace_sharded(self):
+        geometry = CacheGeometry(4, 64, 32)
+        trace = random_trace(np.random.default_rng(13), n=800)
+        plain = simulate_trace(trace, geometry, engine="array")
+        sharded = simulate_trace(
+            trace, geometry, engine="array", shards=4, jobs=1
+        )
+        assert plain.as_dict() == sharded.as_dict()
+
+
+class TestShardedValidation:
+    def test_shards_below_one_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            CacheSimulator(CacheGeometry(4, 64, 32), shards=0)
+
+    def test_jobs_below_one_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            CacheSimulator(CacheGeometry(4, 64, 32), jobs=0)
+
+    def test_sharded_requires_lru(self):
+        with pytest.raises(CacheEngineError, match="LRU"):
+            CacheSimulator(
+                CacheGeometry(4, 64, 32), policy="fifo", shards=2
+            )
+
+    def test_sharded_rejects_reference_engine(self):
+        with pytest.raises(CacheEngineError, match="array"):
+            CacheSimulator(
+                CacheGeometry(4, 64, 32), engine="reference", shards=2
+            )
+
+    def test_sharded_auto_forces_array(self):
+        sim = CacheSimulator(CacheGeometry(4, 64, 32), shards=2)
+        assert sim.engine == "array"
+        assert isinstance(sim._array, ShardedLRUSimulator)
+
+
+class TestPartition:
+    def test_partition_covers_stream_once(self):
+        geometry = CacheGeometry(4, 24, 32)  # non-power-of-two sets
+        trace = random_trace(np.random.default_rng(3), n=500)
+        line_ids, writes, labels = _expand_lines(trace, geometry.line_size)
+        shards = partition_expanded(
+            line_ids, writes, labels, geometry.num_sets, 3
+        )
+        all_positions = np.concatenate([s[0] for s in shards])
+        assert sorted(all_positions.tolist()) == list(range(len(line_ids)))
+        for shard, (positions, ids, _, _) in enumerate(shards):
+            # Positions ascend (order within each set is preserved) and
+            # every line in the shard belongs to one of its sets.
+            if positions.size:
+                assert (np.diff(positions) > 0).all()
+            np.testing.assert_array_equal(ids, line_ids[positions])
+            assert (ids % geometry.num_sets % 3 == shard).all()
+
+    def test_merge_events_orders_evict_before_insert(self):
+        steps = np.array([5, 2], dtype=np.int64)
+        kinds = np.array([1, 1], dtype=np.int8)  # inserts
+        labels = np.array([0, 1], dtype=np.int32)
+        other = (
+            np.array([5], dtype=np.int64),
+            np.array([0], dtype=np.int8),  # evict at the same step
+            np.array([2], dtype=np.int32),
+        )
+        merged = merge_events([(steps, kinds, labels), other])
+        assert merged[0].tolist() == [2, 5, 5]
+        assert merged[1].tolist() == [1, 0, 1]
+        assert merged[2].tolist() == [1, 2, 0]
+
+    def test_merge_events_empty(self):
+        steps, kinds, labels = merge_events([None, None])
+        assert steps.size == 0 and kinds.size == 0 and labels.size == 0

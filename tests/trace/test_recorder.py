@@ -89,6 +89,80 @@ class TestVectorisedRecording:
                 [("A", np.array([0, 1]), False), ("B", np.array([0]), False)]
             )
 
+    def test_interleaved_empty_stream_rejected(self, rec):
+        # Regression: an empty stream used to slip past validation and
+        # blow up when the interleave indexed parts[0][1].
+        with pytest.raises(ValueError, match="empty"):
+            rec.record_interleaved(
+                [("A", np.array([], dtype=np.int64), False)]
+            )
+
+    def test_interleaved_non_triple_part_rejected(self, rec):
+        with pytest.raises(ValueError, match="triple"):
+            rec.record_interleaved([("A", np.array([0, 1]))])
+
+    def test_interleaved_non_1d_stream_rejected(self, rec):
+        with pytest.raises(ValueError, match="1-D"):
+            rec.record_interleaved([("A", np.zeros((2, 2), dtype=np.int64), False)])
+
+    def test_interleaved_no_parts_is_noop(self, rec):
+        rec.record_interleaved([])
+        assert len(rec.finish()) == 0
+
+
+class TestSegmentRecording:
+    def test_segments_match_sequential_recording(self, rec):
+        # The whole point of record_segments: byte-identical trace to
+        # the per-stream record_elements calls it batches.
+        batched = rec
+        batched.record_segments(
+            [
+                ("A", np.array([3, 1, 4]), False),
+                ("B", np.array([2]), True),
+                ("A", np.array([1, 5]), False),
+            ]
+        )
+        sequential = TraceRecorder()
+        sequential.allocate("A", 100, 8)
+        sequential.allocate("B", 50, 16)
+        sequential.record_elements("A", np.array([3, 1, 4]), False)
+        sequential.record_elements("B", np.array([2]), True)
+        sequential.record_elements("A", np.array([1, 5]), False)
+        got, want = batched.finish(), sequential.finish()
+        assert list(got.addresses) == list(want.addresses)
+        assert list(got.sizes) == list(want.sizes)
+        assert list(got.is_write) == list(want.is_write)
+        assert list(got.label_ids) == list(want.label_ids)
+        assert got.labels == want.labels
+
+    def test_segments_skip_empty_parts(self, rec):
+        rec.record_segments(
+            [
+                ("A", np.array([0]), False),
+                ("B", np.array([], dtype=np.int64), True),
+                ("A", np.array([2]), False),
+            ]
+        )
+        trace = rec.finish()
+        assert [r.label for r in trace] == ["A", "A"]
+
+    def test_segments_all_empty_is_noop(self, rec):
+        rec.record_segments([("A", np.array([], dtype=np.int64), False)])
+        rec.record_segments([])
+        assert len(rec.finish()) == 0
+
+    def test_segments_non_triple_part_rejected(self, rec):
+        with pytest.raises(ValueError, match="triple"):
+            rec.record_segments([("A",)])
+
+    def test_segments_non_1d_rejected(self, rec):
+        with pytest.raises(ValueError, match="1-D"):
+            rec.record_segments([("A", np.zeros((1, 3), dtype=np.int64), False)])
+
+    def test_segments_bounds_checked(self, rec):
+        with pytest.raises(IndexError):
+            rec.record_segments([("A", np.array([0, 100]), False)])
+
 
 class TestReferenceTrace:
     def make(self, rec):
@@ -166,5 +240,40 @@ class TestTraceIO:
         loaded = load_trace(path)
         assert len(loaded) == len(trace)
         assert loaded.labels == trace.labels
+        assert (loaded.addresses == trace.addresses).all()
+        assert (loaded.is_write == trace.is_write).all()
+
+    def test_archives_load_without_pickle(self, rec, tmp_path):
+        # New archives must be entirely pickle-free: every column,
+        # including the label table, reads under allow_pickle=False.
+        from repro.trace import save_trace
+
+        rec.record_stream("A", 0, 4)
+        path = tmp_path / "trace.npz"
+        save_trace(rec.finish(), path)
+        with np.load(path, allow_pickle=False) as archive:
+            assert archive["labels"].dtype.kind == "U"
+            assert list(archive["labels"]) == ["A", "B"]
+
+    def test_legacy_object_label_archive_still_loads(self, rec, tmp_path):
+        # Pre-schema-2 archives stored labels as a pickled object array;
+        # load_trace must still read them.
+        from repro.trace import load_trace
+
+        rec.record_stream("A", 0, 3)
+        rec.record_stream("B", 1, 2, is_write=True)
+        trace = rec.finish()
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            schema_version=np.int64(1),
+            addresses=trace.addresses,
+            sizes=trace.sizes,
+            is_write=trace.is_write,
+            label_ids=trace.label_ids,
+            labels=np.asarray(trace.labels, dtype=object),
+        )
+        loaded = load_trace(path)
+        assert loaded.labels == ["A", "B"]
         assert (loaded.addresses == trace.addresses).all()
         assert (loaded.is_write == trace.is_write).all()

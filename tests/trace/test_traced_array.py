@@ -68,6 +68,116 @@ class TestQuietAccess:
         assert len(rec.finish()) == 0
 
 
+class TestFastPaths:
+    """The arithmetic flat-index fast paths must agree with numpy."""
+
+    def test_negative_scalar_index(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr.write_quiet(9, 5.0)
+        assert arr[-1] == 5.0
+        assert rec.finish()[0].address == 9 * 8
+
+    def test_negative_tuple_index(self, rec):
+        arr = TracedArray(rec, "A", (4, 5))
+        arr[-1, -2]
+        assert rec.finish()[0].address == (3 * 5 + 3) * 8
+
+    def test_scalar_out_of_range_raises(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        with pytest.raises(IndexError):
+            arr[10]
+        with pytest.raises(IndexError):
+            arr[-11]
+
+    def test_tuple_out_of_range_raises(self, rec):
+        arr = TracedArray(rec, "A", (4, 5))
+        with pytest.raises(IndexError):
+            arr[4, 0]
+
+    def test_numpy_integer_scalar(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr[np.int64(3)]
+        assert rec.finish()[0].address == 24
+
+    def test_bool_is_not_an_index_fast_path(self, rec):
+        # bool is an int subclass; True must mean "mask-like", never
+        # the arithmetic fast path for element 1.
+        arr = TracedArray(rec, "A", (2, 3))
+        arr[True]  # numpy: adds a leading axis, touches all 6 elements
+        assert len(rec.finish()) == 6
+
+    def test_negative_fancy_indices(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr[np.array([-1, -2])]
+        assert list(rec.finish().addresses) == [72, 64]
+
+    def test_bool_mask_fallback(self, rec):
+        arr = TracedArray(rec, "A", 6)
+        mask = np.array([True, False, True, False, False, True])
+        arr[mask]
+        assert list(rec.finish().addresses) == [0, 16, 40]
+
+    def test_slice_with_step(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr[1:8:3]
+        assert list(rec.finish().addresses) == [8, 32, 56]
+
+    def test_reverse_slice(self, rec):
+        arr = TracedArray(rec, "A", 5)
+        arr[::-1]
+        assert list(rec.finish().addresses) == [32, 24, 16, 8, 0]
+
+    def test_nd_row_is_contiguous_block(self, rec):
+        arr = TracedArray(rec, "A", (3, 4))
+        arr[2]
+        assert list(rec.finish().addresses) == [64, 72, 80, 88]
+
+    def test_values_match_numpy_on_every_path(self, rec):
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        arr = TracedArray(rec, "A", (3, 4))
+        arr.write_quiet(slice(None), data)
+        assert arr[1, 2] == data[1, 2]
+        assert np.array_equal(arr[1], data[1])
+        assert np.array_equal(arr[1:3], data[1:3])
+
+
+class TestGatherScatter:
+    def test_gather_records_and_returns(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr.write_quiet(slice(None), np.arange(10, dtype=float))
+        out = arr.gather(np.array([4, 2, 7]))
+        assert out.tolist() == [4.0, 2.0, 7.0]
+        trace = rec.finish()
+        assert list(trace.addresses) == [32, 16, 56]
+        assert not any(trace.is_write)
+
+    def test_scatter_records_writes(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr.scatter(np.array([1, 3]), np.array([5.0, 6.0]))
+        assert arr.read_quiet(1) == 5.0 and arr.read_quiet(3) == 6.0
+        trace = rec.finish()
+        assert list(trace.addresses) == [8, 24]
+        assert all(trace.is_write)
+
+    def test_gather_negative_indices(self, rec):
+        arr = TracedArray(rec, "A", 10)
+        arr.write_quiet(slice(None), np.arange(10, dtype=float))
+        assert arr.gather(np.array([-1]))[0] == 9.0
+
+    def test_gather_matches_getitem_recording(self, rec):
+        # gather is the batched twin of __getitem__ fancy indexing:
+        # identical addresses in identical order.
+        idx = np.array([5, 0, 5, 9])
+        a = TracedArray(rec, "A", 10)
+        a.gather(idx)
+        via_gather = rec.finish()
+        rec2 = TraceRecorder()
+        b = TracedArray(rec2, "A", 10)
+        b[idx]
+        via_getitem = rec2.finish()
+        assert list(via_gather.addresses) == list(via_getitem.addresses)
+
+
 class TestConstruction:
     def test_element_size_override(self, rec):
         TracedArray(rec, "node", 10, element_size=32)
