@@ -12,11 +12,20 @@ Usage::
     python -m repro.experiments fig4 --tier test   # fast, reduced sizes
     python -m repro.experiments aspen --mode lenient
 
+    python -m repro.experiments service run --scenario s.yaml --state DIR
+    python -m repro.experiments service resume --state DIR
+
 (also installed as the ``dvf-experiments`` console script.)
 
+``service ...`` delegates to the fault-tolerant job service CLI
+(:mod:`repro.service.cli`): durable scenario queues, a supervised
+worker pool with retry/backoff, and journaled resume.
+
 Exit codes: 0 success, 2 argparse usage error, 3 a fault-injection
-campaign was resumed against a mismatched checkpoint journal, 4 a
-checkpoint journal was unreadable/corrupt.
+campaign was resumed against a mismatched checkpoint journal (or an
+unusable ``--resume`` path), 4 a checkpoint journal was
+unreadable/corrupt; the service adds 1 (jobs failed) and 130
+(interrupted).
 """
 
 from __future__ import annotations
@@ -95,6 +104,12 @@ def _fi(args) -> str:
         run_fi_comparison,
     )
 
+    if args.resume is not None:
+        import os
+
+        resume_dir = os.path.abspath(args.resume)
+        if os.path.exists(resume_dir) and not os.path.isdir(resume_dir):
+            raise NotADirectoryError(resume_dir)
     trials = 200 if args.tier != "test" else 100
     return render_fi_comparison(
         run_fi_comparison(
@@ -147,6 +162,12 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "service":
+        from repro.service.cli import main as service_main
+
+        return service_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="dvf-experiments",
         description="Regenerate the DVF paper's tables and figures",
@@ -249,6 +270,18 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return EXIT_CHECKPOINT_CORRUPT
+        except (FileNotFoundError, NotADirectoryError) as exc:
+            if getattr(args, "resume", None) is None:
+                raise
+            print(
+                f"unusable --resume path: {args.resume!r} "
+                f"({exc.__class__.__name__}: {exc}).\n"
+                f"--resume expects a directory for the checkpoint "
+                f"journals; point it at a (possibly new) directory, not "
+                f"a file.",
+                file=sys.stderr,
+            )
+            return EXIT_CHECKPOINT_MISMATCH
         elapsed = time.perf_counter() - start
         print(output)
         print(f"[{name} regenerated in {elapsed:.1f}s]\n")

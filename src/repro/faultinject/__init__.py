@@ -38,13 +38,17 @@ from repro.faultinject.errors import (
     CheckpointError,
     CheckpointMismatch,
     FaultInjectionError,
+    JobRetryExhausted,
     TrialCrash,
     TrialError,
     TrialTimeout,
+    WorkerLost,
 )
 from repro.faultinject.executor import (
+    PENDING,
     InProcessExecutor,
     ProcessTrialExecutor,
+    SupervisedCall,
     TrialExecutor,
     TrialSpec,
     make_executor,
@@ -80,12 +84,16 @@ __all__ = [
     "TrialError",
     "TrialCrash",
     "TrialTimeout",
+    "WorkerLost",
+    "JobRetryExhausted",
     "CheckpointError",
     "CheckpointCorrupt",
     "CheckpointMismatch",
     "TrialExecutor",
     "InProcessExecutor",
     "ProcessTrialExecutor",
+    "SupervisedCall",
+    "PENDING",
     "TrialSpec",
     "make_executor",
     "run_trial",

@@ -62,6 +62,55 @@ class TrialTimeout(TrialError):
         self.timeout = timeout
 
 
+class WorkerLost(FaultInjectionError):
+    """A supervised worker process died without reporting a result.
+
+    The generic counterpart of :class:`TrialCrash` for arbitrary
+    supervised subprocesses (see
+    :class:`~repro.faultinject.executor.SupervisedCall`): the child was
+    OOM-killed, segfaulted, called ``os._exit``, or was killed by the
+    supervisor's SIGTERM/SIGKILL escalation before sending its result.
+    ``exitcode`` follows the POSIX convention (negative = signal
+    number); ``label`` identifies the unit of work when known.
+
+    Worker loss is *transient* by default in the retry taxonomy — the
+    same job may well succeed on a healthy worker.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        exitcode: int | None = None,
+        label: str | None = None,
+    ):
+        super().__init__(message or self.__class__.__name__)
+        self.exitcode = exitcode
+        self.label = label
+
+
+class JobRetryExhausted(FaultInjectionError):
+    """A supervised job consumed its whole retry budget without succeeding.
+
+    Raised (or recorded as a dead-letter outcome) by the job supervisor
+    after ``max_attempts`` transient failures; ``last_error`` carries
+    the error code of the final attempt.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        job: str | None = None,
+        attempts: int | None = None,
+        last_error: str | None = None,
+    ):
+        super().__init__(message or self.__class__.__name__)
+        self.job = job
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class CheckpointError(FaultInjectionError):
     """Base class for checkpoint-journal problems (these abort)."""
 

@@ -29,13 +29,15 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal
 import time
+import traceback
 import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.faultinject.errors import TrialCrash, TrialTimeout
+from repro.faultinject.errors import TrialCrash, TrialTimeout, WorkerLost
 from repro.faultinject.targets import resolve_target
 from repro.kernels.base import Workload
 
@@ -165,12 +167,188 @@ class InProcessExecutor(TrialExecutor):
         return [run_trial(spec) for spec in specs]
 
 
-def _trial_child(conn, spec: TrialSpec) -> None:  # pragma: no cover - subprocess
-    """Worker entry point: run the trial, ship the raw result back."""
+#: Exit status a worker reports when it honours a supervisor SIGTERM
+#: (the conventional ``128 + SIGTERM``).
+SIGTERM_EXIT = 128 + signal.SIGTERM
+
+#: Sentinel returned by :meth:`SupervisedCall.poll` while the worker is
+#: still running.  A distinct object (not ``None``) because supervised
+#: callables may legitimately return ``None``.
+PENDING = object()
+
+
+def _sigterm_exit(signum, frame):  # pragma: no cover - signal handler
+    # Exit *promptly* and without running atexit/finally machinery: a
+    # cancelled worker must not flush partial writes into shared files
+    # (checkpoint journals, cache indices) while dying.
+    os._exit(SIGTERM_EXIT)
+
+
+def _supervised_child(conn, fn, args) -> None:  # pragma: no cover - subprocess
+    """Child entry point: run ``fn(*args)``, ship the result back.
+
+    Installs a SIGTERM handler first, so supervisor-initiated
+    cancellation exits immediately (``os._exit``) instead of unwinding
+    through arbitrary user code mid-write.  An exception escaping
+    ``fn`` prints its traceback and exits nonzero — the supervisor sees
+    :class:`WorkerLost` with ``exitcode=1``.
+    """
+    signal.signal(signal.SIGTERM, _sigterm_exit)
+    if hasattr(signal, "pthread_sigmask"):
+        # The parent blocked SIGTERM across the fork so an immediate
+        # terminate() can't land before this handler exists; any such
+        # pending signal is delivered right here, to the handler.
+        signal.pthread_sigmask(signal.SIG_UNBLOCK, {signal.SIGTERM})
     try:
-        conn.send(run_trial(spec))
+        result = fn(*args)
+    except BaseException:
+        traceback.print_exc()
+        conn.close()
+        os._exit(1)
+    try:
+        conn.send(result)
     finally:
         conn.close()
+
+
+def _default_context(start_method: str | None = None) -> mp.context.BaseContext:
+    """``fork`` where available (cheap, inherits monkeypatches), else spawn."""
+    if start_method is None:
+        methods = mp.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return mp.get_context(start_method)
+
+
+class SupervisedCall:
+    """One function call in a supervised, crash-isolated child process.
+
+    The reusable subprocess primitive under both the FI trial executor
+    and the DVF job service: start a child running ``fn(*args)``, then
+
+    * :meth:`wait` / :attr:`sentinel` to block or multiplex on
+      completion,
+    * :meth:`expired` to check the per-call ``timeout``,
+    * :meth:`terminate` to cancel with SIGTERM-then-SIGKILL escalation
+      (the child installs a prompt SIGTERM handler; ``term_grace``
+      bounds how long a C-level loop may ignore it before SIGKILL),
+    * :meth:`poll` to collect the outcome: :data:`PENDING` while
+      running, the child's return value on success, or a
+      :class:`~repro.faultinject.errors.WorkerLost` sentinel when the
+      child died without delivering a result.
+
+    The caller decides what worker loss and expiry *mean* (a trial
+    CRASH, a retryable job failure, ...); this class only supervises.
+    """
+
+    def __init__(
+        self,
+        fn,
+        args: tuple = (),
+        *,
+        ctx: mp.context.BaseContext | None = None,
+        timeout: float | None = None,
+        term_grace: float = 2.0,
+        label: str = "worker",
+    ):
+        self.fn = fn
+        self.args = args
+        self.timeout = timeout
+        self.term_grace = term_grace
+        self.label = label
+        self._ctx = ctx if ctx is not None else _default_context()
+        self.proc: mp.process.BaseProcess | None = None
+        self._recv = None
+        self.started_at: float | None = None
+        self._result = PENDING
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "SupervisedCall":
+        recv, send = self._ctx.Pipe(duplex=False)
+        self.proc = self._ctx.Process(
+            target=_supervised_child, args=(send, self.fn, self.args),
+            daemon=True,
+        )
+        if hasattr(signal, "pthread_sigmask"):
+            # Keep SIGTERM blocked (and so inherited-blocked) across the
+            # fork: a terminate() racing the child's handler install
+            # would otherwise kill it with the default disposition
+            # (exitcode -15) instead of the prompt handler's 143.  The
+            # child unblocks once its handler is in place.
+            held = signal.pthread_sigmask(
+                signal.SIG_BLOCK, {signal.SIGTERM}
+            )
+            try:
+                self.proc.start()
+            finally:
+                signal.pthread_sigmask(signal.SIG_SETMASK, held)
+        else:  # pragma: no cover - non-POSIX
+            self.proc.start()
+        send.close()
+        self._recv = recv
+        self.started_at = time.monotonic()
+        return self
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if self.proc is not None else None
+
+    @property
+    def sentinel(self) -> int:
+        """Waitable handle for ``multiprocessing.connection.wait``."""
+        return self.proc.sentinel
+
+    def expired(self, now: float | None = None) -> bool:
+        """True once the call has outlived its ``timeout``."""
+        if self.timeout is None or self.started_at is None:
+            return False
+        return (now if now is not None else time.monotonic()) \
+            - self.started_at > self.timeout
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Join up to ``timeout`` seconds; True when the child exited."""
+        self.proc.join(timeout)
+        return not self.proc.is_alive()
+
+    def terminate(self) -> None:
+        """Cancel the child: SIGTERM, grace period, then SIGKILL."""
+        if self.proc is None:
+            return
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(self.term_grace)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join()
+
+    # -- result collection ---------------------------------------------
+    def poll(self):
+        """:data:`PENDING`, the child's value, or a :class:`WorkerLost`."""
+        if self.proc is None:
+            raise RuntimeError("SupervisedCall.poll() before start()")
+        if self.proc.is_alive():
+            return PENDING
+        if self._result is not PENDING:
+            return self._result
+        self.proc.join()  # reap
+        received = PENDING
+        if self._recv is not None:
+            try:
+                if self._recv.poll():
+                    received = self._recv.recv()
+            except (EOFError, OSError):
+                received = PENDING  # died mid-send
+            finally:
+                self._recv.close()
+                self._recv = None
+        if received is PENDING:
+            received = WorkerLost(
+                f"{self.label} died without delivering a result "
+                f"(exitcode {self.proc.exitcode})",
+                exitcode=self.proc.exitcode,
+                label=self.label,
+            )
+        self._result = received
+        return self._result
 
 
 class ProcessTrialExecutor(TrialExecutor):
@@ -179,15 +357,18 @@ class ProcessTrialExecutor(TrialExecutor):
     The strongest isolation available from the standard library: a
     worker that segfaults, calls ``os._exit``, or is OOM-killed is
     reported as :class:`TrialCrash`; one that hangs past ``timeout``
-    seconds is terminated and reported as :class:`TrialTimeout`.  The
-    campaign classifies both without aborting.
+    seconds is cancelled (SIGTERM, then SIGKILL after ``term_grace``)
+    and reported as :class:`TrialTimeout`.  The campaign classifies
+    both without aborting.
 
     ``timeout`` is the per-wave wall-clock budget; since every trial in
-    a wave starts together, it bounds each trial's runtime.  Uses the
-    ``fork`` start method where available (cheap on Linux, and child
-    processes inherit monkeypatched registries — useful in tests),
-    falling back to ``spawn``; :class:`TrialSpec` is picklable either
-    way.
+    a wave starts together, it bounds each trial's runtime.  Built on
+    :class:`SupervisedCall`, so workers install the prompt SIGTERM
+    handler and cancellation can never leave partial writes behind.
+    Uses the ``fork`` start method where available (cheap on Linux, and
+    child processes inherit monkeypatched registries — useful in
+    tests), falling back to ``spawn``; :class:`TrialSpec` is picklable
+    either way.
     """
 
     def __init__(
@@ -195,65 +376,58 @@ class ProcessTrialExecutor(TrialExecutor):
         jobs: int | None = None,
         timeout: float | None = None,
         start_method: str | None = None,
+        term_grace: float = 2.0,
     ):
         self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 1))
         self.timeout = timeout
+        self.term_grace = term_grace
         self.batch_size = self.jobs
-        if start_method is None:
-            methods = mp.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        self._ctx = mp.get_context(start_method)
+        self._ctx = _default_context(start_method)
 
     def run_batch(self, specs: list[TrialSpec]) -> list:
-        workers = []
-        for spec in specs:
-            recv, send = self._ctx.Pipe(duplex=False)
-            proc = self._ctx.Process(
-                target=_trial_child, args=(send, spec), daemon=True
-            )
-            proc.start()
-            send.close()
-            workers.append((spec, proc, recv))
+        calls = [
+            SupervisedCall(
+                run_trial,
+                (spec,),
+                ctx=self._ctx,
+                term_grace=self.term_grace,
+                label=f"trial {spec.structure}#{spec.trial_index}",
+            ).start()
+            for spec in specs
+        ]
         deadline = (
             time.monotonic() + self.timeout if self.timeout is not None else None
         )
-        results = []
-        for spec, proc, recv in workers:
-            results.append(self._collect(spec, proc, recv, deadline))
-        return results
+        return [
+            self._collect(spec, call, deadline)
+            for spec, call in zip(specs, calls)
+        ]
 
-    def _collect(self, spec, proc, recv, deadline):
+    def _collect(self, spec: TrialSpec, call: SupervisedCall, deadline):
         remaining = (
             None if deadline is None else max(0.0, deadline - time.monotonic())
         )
-        proc.join(remaining)
-        try:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
-                return TrialTimeout(
-                    f"trial {spec.structure}#{spec.trial_index} exceeded "
-                    f"{self.timeout}s",
-                    timeout=self.timeout,
-                    kernel=spec.kernel,
-                    structure=spec.structure,
-                    trial_index=spec.trial_index,
-                )
-            if recv.poll():
-                try:
-                    return recv.recv()
-                except (EOFError, OSError):
-                    pass  # died mid-send: fall through to crash
-            return TrialCrash(
-                f"worker for trial {spec.structure}#{spec.trial_index} died "
-                f"(exitcode {proc.exitcode})",
-                exitcode=proc.exitcode,
+        if not call.wait(remaining):
+            call.terminate()
+            return TrialTimeout(
+                f"trial {spec.structure}#{spec.trial_index} exceeded "
+                f"{self.timeout}s",
+                timeout=self.timeout,
                 kernel=spec.kernel,
                 structure=spec.structure,
                 trial_index=spec.trial_index,
             )
-        finally:
-            recv.close()
+        result = call.poll()
+        if isinstance(result, WorkerLost):
+            return TrialCrash(
+                f"worker for trial {spec.structure}#{spec.trial_index} died "
+                f"(exitcode {result.exitcode})",
+                exitcode=result.exitcode,
+                kernel=spec.kernel,
+                structure=spec.structure,
+                trial_index=spec.trial_index,
+            )
+        return result
 
 
 def make_executor(

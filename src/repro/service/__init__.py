@@ -1,0 +1,90 @@
+"""Fault-tolerant DVF job service.
+
+A supervised job-execution subsystem for long DVF analysis campaigns:
+declarative YAML/JSON scenarios queue *jobs* (Aspen sources, registered
+kernels, or self-test probes) into a durable queue; a pool of
+crash-isolated workers drains it under per-job timeouts, taxonomy-aware
+bounded retry with exponential backoff, a circuit breaker that degrades
+to the safe path (lenient mode / reference engine) while the fast path
+keeps dying, and an append-only journal that makes ``service resume``
+survive SIGINT/SIGKILL of the supervisor itself.
+
+Public surface:
+
+* :func:`~repro.service.scenario.load_scenario` /
+  :class:`~repro.service.scenario.Scenario` /
+  :class:`~repro.service.scenario.JobSpec` — declarative job configs;
+* :class:`~repro.service.supervisor.JobSupervisor` /
+  :func:`~repro.service.supervisor.run_service` /
+  :class:`~repro.service.supervisor.ServiceRun` — the engine;
+* :class:`~repro.service.retry.RetryPolicy` /
+  :class:`~repro.service.retry.CircuitBreaker` — failure-handling
+  policy;
+* :class:`~repro.service.journal.JobJournal` /
+  :func:`~repro.service.journal.load_journal` — durability layer;
+* :func:`~repro.service.cli.main` — the ``service`` CLI.
+"""
+
+from repro.service.journal import (
+    JobJournal,
+    JobState,
+    append_queue,
+    load_journal,
+    load_queue,
+)
+from repro.service.retry import (
+    DETERMINISTIC_CODES,
+    TRANSIENT_CODES,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.service.scenario import (
+    BreakerConfig,
+    JobSpec,
+    RetryConfig,
+    Scenario,
+    ScenarioError,
+    ServiceConfig,
+    load_scenario,
+    parse_scenario,
+)
+from repro.service.supervisor import (
+    OUTCOME_DEAD_LETTER,
+    OUTCOME_EXHAUSTED,
+    OUTCOME_SUCCEEDED,
+    JobSupervisor,
+    ServiceRun,
+    run_service,
+    service_status,
+    submit_scenario,
+)
+from repro.service.worker import execute_job
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "DETERMINISTIC_CODES",
+    "JobJournal",
+    "JobSpec",
+    "JobState",
+    "JobSupervisor",
+    "OUTCOME_DEAD_LETTER",
+    "OUTCOME_EXHAUSTED",
+    "OUTCOME_SUCCEEDED",
+    "RetryConfig",
+    "RetryPolicy",
+    "Scenario",
+    "ScenarioError",
+    "ServiceConfig",
+    "ServiceRun",
+    "TRANSIENT_CODES",
+    "append_queue",
+    "execute_job",
+    "load_journal",
+    "load_queue",
+    "load_scenario",
+    "parse_scenario",
+    "run_service",
+    "service_status",
+    "submit_scenario",
+]

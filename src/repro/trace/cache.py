@@ -31,11 +31,17 @@ the cache fits; the entry just written is never evicted.  A corrupt or
 missing index degrades to an empty one rebuilt from the ``.npz`` files
 actually present; a corrupt archive is treated as a miss and dropped.
 Writes go through a temp file + ``os.replace`` so concurrent
-campaigns sharing one cache directory never observe torn artifacts.
+campaigns sharing one cache directory never observe torn artifacts,
+and every read-modify-write of the index runs under an advisory
+``fcntl`` file lock (``<root>/.lock``), so two processes sharing a
+cache cannot interleave a load/save pair and silently drop each
+other's entries.  On platforms without ``fcntl`` the lock degrades to
+a no-op — single-process behaviour is unchanged.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import inspect
 import json
@@ -45,6 +51,11 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+try:  # POSIX only; locking degrades to a no-op elsewhere
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    _fcntl = None
+
 from repro.trace.io import TRACE_SCHEMA_VERSION, load_trace, save_trace
 from repro.trace.reference import ReferenceTrace
 
@@ -53,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle (kernels -> trace)
 
 _INDEX_NAME = "index.json"
 _INDEX_VERSION = 1
+_LOCK_NAME = ".lock"
 
 
 def canonical_params(params: dict[str, Any]) -> str:
@@ -143,6 +155,29 @@ class TraceCache:
         self._memory: dict[str, ReferenceTrace] = {}
 
     # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self):
+        """Advisory exclusive lock over index read-modify-write.
+
+        Serialises whole operations (load index → mutate files → save
+        index) across processes sharing the cache directory.  Advisory
+        by design: readers of the ``.npz`` artifacts themselves stay
+        lock-free (writes are atomic renames), and non-POSIX platforms
+        fall through without locking.
+        """
+        if _fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        with (self.root / _LOCK_NAME).open("a") as fh:
+            _fcntl.flock(fh, _fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                _fcntl.flock(fh, _fcntl.LOCK_UN)
+
+    # ------------------------------------------------------------------
     # index handling
     # ------------------------------------------------------------------
     @property
@@ -162,15 +197,19 @@ class TraceCache:
         except (ValueError, KeyError, TypeError):
             # Corrupt index: rebuild from the archives actually on
             # disk (use-order information is lost; ticks restart at 0).
-            entries = {
-                path.stem: {
+            entries = {}
+            for path in sorted(self.root.glob("*.npz")):
+                if path.name.endswith(".tmp.npz"):
+                    continue
+                try:
+                    size = path.stat().st_size
+                except FileNotFoundError:
+                    continue  # deleted by a peer between glob and stat
+                entries[path.stem] = {
                     "file": path.name,
-                    "bytes": path.stat().st_size,
+                    "bytes": size,
                     "tick": 0,
                 }
-                for path in sorted(self.root.glob("*.npz"))
-                if not path.name.endswith(".tmp.npz")
-            }
             return {"version": _INDEX_VERSION, "tick": 0, "entries": entries}
         return index
 
@@ -187,27 +226,28 @@ class TraceCache:
     ) -> ReferenceTrace | None:
         """Cached trace for (kernel, workload), or ``None`` on a miss."""
         key = trace_key(kernel, workload)
-        index = self._load_index()
-        entry = index["entries"].get(key)
         path = self.root / f"{key}.npz"
-        if entry is None or not path.exists():
-            self.misses += 1
-            return None
-        trace = self._memory.get(key)
-        if trace is None:
-            try:
-                trace = load_trace(path)
-            except (OSError, ValueError, KeyError):
-                # Torn or corrupt artifact: drop it and re-collect.
-                index["entries"].pop(key, None)
-                path.unlink(missing_ok=True)
-                self._save_index(index)
+        with self._locked():
+            index = self._load_index()
+            entry = index["entries"].get(key)
+            if entry is None or not path.exists():
                 self.misses += 1
                 return None
-            self._memory[key] = trace
-        index["tick"] += 1
-        entry["tick"] = index["tick"]
-        self._save_index(index)
+            trace = self._memory.get(key)
+            if trace is None:
+                try:
+                    trace = load_trace(path)
+                except (OSError, ValueError, KeyError):
+                    # Torn or corrupt artifact: drop it and re-collect.
+                    index["entries"].pop(key, None)
+                    path.unlink(missing_ok=True)
+                    self._save_index(index)
+                    self.misses += 1
+                    return None
+                self._memory[key] = trace
+            index["tick"] += 1
+            entry["tick"] = index["tick"]
+            self._save_index(index)
         self.hits += 1
         return trace
 
@@ -218,22 +258,25 @@ class TraceCache:
         key = trace_key(kernel, workload)
         path = self.root / f"{key}.npz"
         # The temp name must keep the .npz suffix: np.savez appends one
-        # to anything else, which would break the atomic rename.
-        tmp = self.root / f"{key}.tmp.npz"
-        save_trace(trace, tmp)
-        os.replace(tmp, path)
+        # to anything else, which would break the atomic rename.  It must
+        # also be unique per process: two writers racing on the same key
+        # would otherwise truncate/steal each other's temp file.
+        tmp = self.root / f"{key}.{os.getpid()}.tmp.npz"
+        save_trace(trace, tmp)  # slow part: outside the lock
         self._memory[key] = trace
-        index = self._load_index()
-        index["tick"] += 1
-        index["entries"][key] = {
-            "file": path.name,
-            "bytes": path.stat().st_size,
-            "tick": index["tick"],
-            "kernel": kernel.name,
-            "params": canonical_params(workload.params),
-        }
-        self._evict_over_cap(index, keep=key)
-        self._save_index(index)
+        with self._locked():
+            os.replace(tmp, path)
+            index = self._load_index()
+            index["tick"] += 1
+            index["entries"][key] = {
+                "file": path.name,
+                "bytes": path.stat().st_size,
+                "tick": index["tick"],
+                "kernel": kernel.name,
+                "params": canonical_params(workload.params),
+            }
+            self._evict_over_cap(index, keep=key)
+            self._save_index(index)
         self.stores += 1
         return path
 
@@ -273,23 +316,27 @@ class TraceCache:
     def invalidate(self, kernel: "Kernel", workload: "Workload") -> bool:
         """Drop the entry for (kernel, workload); True if one existed."""
         key = trace_key(kernel, workload)
-        index = self._load_index()
-        entry = index["entries"].pop(key, None)
-        self._memory.pop(key, None)
-        (self.root / f"{key}.npz").unlink(missing_ok=True)
-        if entry is not None:
-            self._save_index(index)
+        with self._locked():
+            index = self._load_index()
+            entry = index["entries"].pop(key, None)
+            self._memory.pop(key, None)
+            (self.root / f"{key}.npz").unlink(missing_ok=True)
+            if entry is not None:
+                self._save_index(index)
         return entry is not None
 
     def clear(self) -> int:
         """Drop every cached trace; returns the number removed."""
-        index = self._load_index()
-        removed = 0
-        for entry in index["entries"].values():
-            (self.root / entry["file"]).unlink(missing_ok=True)
-            removed += 1
-        self._memory.clear()
-        self._save_index({"version": _INDEX_VERSION, "tick": 0, "entries": {}})
+        with self._locked():
+            index = self._load_index()
+            removed = 0
+            for entry in index["entries"].values():
+                (self.root / entry["file"]).unlink(missing_ok=True)
+                removed += 1
+            self._memory.clear()
+            self._save_index(
+                {"version": _INDEX_VERSION, "tick": 0, "entries": {}}
+            )
         return removed
 
     # ------------------------------------------------------------------

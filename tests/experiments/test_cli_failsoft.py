@@ -51,6 +51,30 @@ class TestCheckpointExitCodes:
         assert runner.main(["fi"]) == 0
         assert "fi output here" in capsys.readouterr().out
 
+    def test_unusable_resume_path_exits_3(self, tmp_path, capsys):
+        # --resume pointing at an existing *file* can never hold the
+        # per-kernel journals; normalized to the mismatch exit code
+        # with an actionable message instead of a raw traceback.
+        not_a_dir = tmp_path / "journal.jsonl"
+        not_a_dir.write_text("{}\n")
+        code = runner.main(["fi", "--tier", "test",
+                            "--resume", str(not_a_dir)])
+        assert code == runner.EXIT_CHECKPOINT_MISMATCH == 3
+        err = capsys.readouterr().err
+        assert "unusable --resume path" in err
+        assert "directory" in err
+
+    def test_resume_error_without_resume_flag_propagates(self, monkeypatch):
+        # The normalization is scoped to --resume: an unrelated missing
+        # file inside a command must stay a loud failure.
+        monkeypatch.setitem(
+            runner._COMMANDS,
+            "fi",
+            _raise_factory(FileNotFoundError("something else entirely")),
+        )
+        with pytest.raises(FileNotFoundError):
+            runner.main(["fi"])
+
 
 class TestAspenSubcommand:
     @pytest.mark.parametrize("mode", ["strict", "lenient"])

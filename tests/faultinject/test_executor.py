@@ -207,3 +207,140 @@ class TestOutcomeTaxonomy:
         )
         assert stats.failures == 4
         assert stats.failure_rate == pytest.approx(0.4)
+
+
+# ----------------------------------------------------------------------
+# SupervisedCall: the reusable supervised-subprocess primitive
+# ----------------------------------------------------------------------
+def _identity(value):
+    return value
+
+
+def _sleep_forever():
+    time.sleep(60.0)
+
+
+def _raise_runtime():
+    raise RuntimeError("boom in child")
+
+
+def _exit_7():
+    os._exit(7)
+
+
+def _journal_forever(path):
+    """Write journal events until killed (SIGTERM lands mid-stream)."""
+    from repro.service.journal import JobJournal
+    from repro.service.scenario import JobSpec
+
+    spec = JobSpec(id="j", kind="probe", options={"behavior": "ok"})
+    with JobJournal(path) as journal:
+        attempt = 0
+        while True:
+            attempt += 1
+            journal.attempt_failed(
+                spec, attempt, "WorkerLost", "x" * 256
+            )
+
+
+@needs_fork
+class TestSupervisedCall:
+    def test_delivers_return_value(self):
+        from repro.faultinject import SupervisedCall
+
+        call = SupervisedCall(_identity, ({"answer": 42},)).start()
+        assert call.wait(10.0)
+        assert call.poll() == {"answer": 42}
+        assert call.poll() == {"answer": 42}  # memoized
+
+    def test_none_return_is_not_worker_lost(self):
+        from repro.faultinject import PENDING, SupervisedCall, WorkerLost
+
+        call = SupervisedCall(_identity, (None,)).start()
+        assert call.wait(10.0)
+        result = call.poll()
+        assert result is None
+        assert result is not PENDING
+        assert not isinstance(result, WorkerLost)
+
+    def test_child_exception_is_worker_lost(self):
+        from repro.faultinject import SupervisedCall, WorkerLost
+
+        call = SupervisedCall(_raise_runtime, label="raiser").start()
+        assert call.wait(10.0)
+        result = call.poll()
+        assert isinstance(result, WorkerLost)
+        assert result.exitcode == 1
+        assert "raiser" in str(result)
+
+    def test_hard_exit_is_worker_lost_with_exitcode(self):
+        from repro.faultinject import SupervisedCall, WorkerLost
+
+        call = SupervisedCall(_exit_7).start()
+        assert call.wait(10.0)
+        result = call.poll()
+        assert isinstance(result, WorkerLost)
+        assert result.exitcode == 7
+
+    def test_poll_while_running_is_pending(self):
+        from repro.faultinject import PENDING, SupervisedCall
+
+        call = SupervisedCall(_sleep_forever, term_grace=1.0).start()
+        try:
+            assert call.poll() is PENDING
+        finally:
+            call.terminate()
+
+    def test_terminate_is_prompt_sigterm(self):
+        from repro.faultinject import SupervisedCall, WorkerLost
+        from repro.faultinject.executor import SIGTERM_EXIT
+
+        # term_grace far above what the handler needs: if terminate()
+        # returns quickly, it is because the child honoured SIGTERM
+        # promptly, not because SIGKILL escalation saved us.
+        call = SupervisedCall(
+            _sleep_forever, term_grace=30.0, label="sleeper"
+        ).start()
+        started = time.monotonic()
+        call.terminate()
+        assert time.monotonic() - started < 5.0
+        result = call.poll()
+        assert isinstance(result, WorkerLost)
+        assert result.exitcode == SIGTERM_EXIT == 143
+
+    def test_expired_tracks_timeout(self):
+        from repro.faultinject import SupervisedCall
+
+        call = SupervisedCall(
+            _sleep_forever, timeout=0.05, term_grace=1.0
+        ).start()
+        try:
+            time.sleep(0.1)
+            assert call.expired()
+        finally:
+            call.terminate()
+
+    def test_sigterm_mid_write_leaves_journal_loadable(self, tmp_path):
+        from repro.faultinject import SupervisedCall
+        from repro.service.journal import load_journal
+        from repro.service.scenario import JobSpec
+
+        journal_path = tmp_path / "journal.jsonl"
+        call = SupervisedCall(
+            _journal_forever, (journal_path,), term_grace=5.0
+        ).start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if journal_path.exists() and \
+                    journal_path.stat().st_size > 2048:
+                break
+            time.sleep(0.005)
+        call.terminate()
+        # The worker died mid-stream, but the journal must stay
+        # loadable: at most its final line is a tolerated kill
+        # artifact (the prompt SIGTERM handler exits without
+        # flushing partial buffers into the file).
+        spec = JobSpec(id="j", kind="probe", options={"behavior": "ok"})
+        states = load_journal(journal_path, {"j": spec})
+        assert states["j"].attempts > 0
+        assert not states["j"].terminal

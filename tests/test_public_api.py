@@ -67,6 +67,10 @@ class TestPackageSurface:
                                    "flip_bit"]),
             ("repro.experiments", ["run_fig4", "run_fig5", "run_fig6",
                                    "run_fig7"]),
+            ("repro.service", ["load_scenario", "JobSupervisor",
+                               "run_service", "ServiceRun", "RetryPolicy",
+                               "CircuitBreaker", "JobJournal",
+                               "load_journal"]),
         ],
     )
     def test_documented_exports_exist(self, module, names):
@@ -84,7 +88,7 @@ class TestPackageSurface:
         modules = [
             "repro.core", "repro.patterns", "repro.aspen",
             "repro.cachesim", "repro.trace", "repro.kernels",
-            "repro.faultinject",
+            "repro.faultinject", "repro.service",
         ]
         undocumented = []
         for module_name in modules:

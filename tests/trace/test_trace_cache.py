@@ -218,3 +218,76 @@ class TestCoercion:
         built = as_trace_cache(str(tmp_path))
         assert isinstance(built, TraceCache)
         assert built.root == cache.root
+
+
+# ----------------------------------------------------------------------
+# cross-process locking
+# ----------------------------------------------------------------------
+def _hammer_cache(root, max_bytes, offset, iterations, sizes):
+    """Worker: interleave get/put/invalidate against a shared cache."""
+    cache = TraceCache(root, max_bytes=max_bytes)
+    kernel = KERNELS["VM"]
+    for i in range(iterations):
+        workload = Workload("t", {"n": sizes[(offset + i) % len(sizes)]})
+        if cache.get(kernel, workload) is None:
+            cache.put(kernel, workload, kernel.trace(workload))
+        if i % 5 == 4:
+            cache.invalidate(kernel, workload)
+
+
+class TestCrossProcessLocking:
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_two_processes_sharing_one_cache(self, tmp_path, kernel):
+        """Regression: concurrent index read-modify-write must not lose
+        entries, crash on already-evicted archives, or leave the index
+        pointing at files that are gone.
+
+        The size cap is tuned so both workers evict constantly — each
+        races to delete archives the other may just have indexed, which
+        without the advisory lock intermittently raised
+        ``FileNotFoundError`` out of the rebuild path and dropped
+        freshly-stored entries from the index.
+        """
+        import multiprocessing
+
+        one_trace = kernel.trace(Workload("t", {"n": 64}))
+        cache = TraceCache(tmp_path)
+        artifact = cache.put(kernel, Workload("t", {"n": 64}), one_trace)
+        max_bytes = 3 * artifact.stat().st_size  # forces steady eviction
+        cache.invalidate(kernel, Workload("t", {"n": 64}))
+
+        ctx = multiprocessing.get_context("fork")
+        sizes = (48, 56, 64, 72, 80, 88)
+        workers = [
+            ctx.Process(
+                target=_hammer_cache,
+                args=(tmp_path, max_bytes, offset, 20, sizes),
+            )
+            for offset in (0, 3)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(120)
+        assert all(proc.exitcode == 0 for proc in workers), [
+            proc.exitcode for proc in workers
+        ]
+
+        # Post-conditions: index parses, and index <-> disk agree.
+        index = json.loads((tmp_path / "index.json").read_text())
+        listed = {entry["file"] for entry in index["entries"].values()}
+        on_disk = {
+            path.name
+            for path in tmp_path.glob("*.npz")
+            if not path.name.endswith(".tmp.npz")
+        }
+        assert listed == on_disk
+        assert not list(tmp_path.glob("*.tmp.npz"))
+        # And the cache is still fully usable afterwards.
+        survivor = TraceCache(tmp_path)
+        workload = Workload("t", {"n": 96})
+        survivor.put(kernel, workload, kernel.trace(workload))
+        assert survivor.get(kernel, workload) is not None
