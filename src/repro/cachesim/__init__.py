@@ -39,7 +39,18 @@ from repro.cachesim.engine import (
     CacheEngineError,
     check_engine,
 )
-from repro.cachesim.sharding import ShardedLRUSimulator
+from repro.cachesim.expand import expanded_size
+from repro.cachesim.pool import (
+    effective_cpus,
+    pool_scope,
+    shutdown_pool,
+)
+from repro.cachesim.sharding import (
+    SHARD_AUTO_MIN_REFS,
+    SHARD_REFS_PER_WORKER,
+    ShardedLRUSimulator,
+    auto_shard_plan,
+)
 from repro.cachesim.simulator import CacheSimulator, simulate_trace
 from repro.cachesim.stats import CacheStats, LabelStats
 
@@ -54,7 +65,14 @@ __all__ = [
     "LabelStats",
     "check_engine",
     "simulate_trace",
+    "expanded_size",
+    "auto_shard_plan",
+    "effective_cpus",
+    "pool_scope",
+    "shutdown_pool",
     "AUTO_ARRAY_MIN_REFS",
+    "SHARD_AUTO_MIN_REFS",
+    "SHARD_REFS_PER_WORKER",
     "ENGINES",
     "PAPER_CACHES",
     "PROFILING_CACHES",

@@ -1,11 +1,11 @@
-"""Set-sharded parallel LRU simulation.
+"""Set-sharded parallel LRU simulation with zero-copy transport.
 
 Cache sets never interact: the LRU outcome of a set depends only on that
 set's own access subsequence (the same independence the array engine's
 wave scheduling exploits within one process).  This module partitions
-the *expanded* line-touch stream by set index into K shards, replays
-each shard through its own :class:`~repro.cachesim.engine.ArrayLRUEngine`
-— optionally in worker processes — and merges the results so they are
+the line-touch stream by set index into K shards, replays each shard
+through its own :class:`~repro.cachesim.engine.ArrayLRUEngine` —
+optionally in worker processes — and merges the results so they are
 **bit-identical** to the single-process run:
 
 * Per-label hits / misses / writebacks merge by exact integer summation
@@ -20,31 +20,102 @@ each shard through its own :class:`~repro.cachesim.engine.ArrayLRUEngine`
   residency-integral accumulation order) is exactly the single-process
   one.
 
+The parallel path is built to make the boundary cheap, not just the
+cores numerous (PR 4 shipped the pickled *expanded* stream through a
+pool spawned per call, and lost 6x to the overhead):
+
+* **Persistent pool** — workers come from the module-level pool in
+  :mod:`repro.cachesim.pool`, spawned lazily on first use and reused
+  across ``simulate_trace`` / ``validate_kernel`` / experiment cells;
+  fork cost is paid once per process.
+* **Zero-copy transport** — the *compact* trace columns (21 bytes per
+  reference) go into one ``multiprocessing.shared_memory`` block; each
+  worker receives only a name/length descriptor plus its shard's slice
+  of the engine state (``1/num_shards`` of the arrays).
+* **Worker-side expansion** — each worker runs
+  :func:`~repro.cachesim.expand.expand_shard` against the shared
+  columns, expanding *only its own set-partition*; the parent never
+  materialises the expanded stream at all on the pooled path.
+* **Crash safety** — parent engine state is mutated only after every
+  shard result has arrived, so a lost worker (``BrokenProcessPool``)
+  degrades to a bit-identical inline replay from untouched state; the
+  shared block is unlinked in a ``finally`` either way.
+
 Each shard engine allocates the full geometry but only ever touches its
 own sets, so a flush or residency count over all shards partitions the
-cache exactly.  Worker processes receive the engine state
-(:meth:`~repro.cachesim.engine.ArrayLRUEngine.state_dict`) and return
-the updated snapshot, keeping warm-cache multi-``run`` semantics;
-``jobs=1`` replays the shards inline in shard order with no pickling.
+cache exactly.  ``num_shards`` is clamped to ``num_sets``: for K >=
+num_sets every set index satisfies ``set % K == set == set %
+num_sets``, so the clamp is behaviour-identical and merely avoids
+spawning shards that cannot own a set.
 
-When does sharding pay off?  Partitioning costs one pass over the
-expanded stream plus, with ``jobs > 1``, pickling roughly 13 bytes per
-expanded reference each way — worthwhile only when per-shard replay
-dominates, i.e. multi-million-reference traces on multi-core hosts.
+:func:`auto_shard_plan` is the routing half: given the expanded
+reference count and the visible CPU count it decides whether sharding
+can win at all (never on one CPU, never under
+``SHARD_AUTO_MIN_REFS``) and how many workers the trace can keep busy
+(one per ``SHARD_REFS_PER_WORKER`` expanded refs).  The thresholds are
+recorded in ``BENCH_pipeline.json`` by the harness so they stay
+auditable against measured crossovers.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+import signal
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from repro.cachesim import pool as _pool
 from repro.cachesim.configs import CacheGeometry
 from repro.cachesim.engine import (
     DEFAULT_CHUNK_SIZE,
     ArrayLRUEngine,
 )
+from repro.cachesim.expand import (
+    _expand_lines,
+    expand_shard,
+    shard_entry_counts,
+    shard_index,
+)
+from repro.cachesim.pool import effective_cpus
 from repro.cachesim.stats import CacheStats
+from repro.trace.io import attach_trace_shm, trace_to_shm
+
+#: Below this many expanded references a single array-engine pass is so
+#: fast (tens of milliseconds) that even a warm pool's submit/collect
+#: latency cannot pay for itself — the tuner routes to one shard.
+SHARD_AUTO_MIN_REFS = 1_000_000
+
+#: Target expanded references per worker: enough per-shard replay to
+#: amortise one state round-trip and result pickle.  The tuner opens
+#: one worker per this many refs, capped by CPUs and sets.
+SHARD_REFS_PER_WORKER = 500_000
+
+
+def auto_shard_plan(
+    expanded_refs: int, num_sets: int, cpus: int | None = None
+) -> tuple[int, int]:
+    """Pick ``(shards, jobs)`` for a trace of ``expanded_refs`` touches.
+
+    The decision table (see ``tests/cachesim/test_autotune.py``):
+
+    * 1 visible CPU ⇒ ``(1, 1)`` — parallel replay can never win
+      without a spare core, whatever the trace size;
+    * fewer than :data:`SHARD_AUTO_MIN_REFS` expanded refs ⇒ ``(1, 1)``
+      — replay is too fast to amortise even a warm pool;
+    * otherwise one shard per :data:`SHARD_REFS_PER_WORKER` refs
+      (at least 2), capped by ``cpus`` and ``num_sets``.
+
+    ``cpus`` defaults to the affinity-aware visible CPU count.
+    """
+    if cpus is None:
+        cpus = effective_cpus()
+    if cpus <= 1 or expanded_refs < SHARD_AUTO_MIN_REFS or num_sets < 2:
+        return 1, 1
+    shards = int(
+        min(cpus, num_sets, max(2, expanded_refs // SHARD_REFS_PER_WORKER))
+    )
+    return shards, shards
 
 
 def shard_of_sets(num_sets: int, num_shards: int) -> np.ndarray:
@@ -66,11 +137,7 @@ def partition_expanded(
     stream (ascending, so each set's access order is preserved and the
     local→global position map is monotone).
     """
-    if num_sets & (num_sets - 1) == 0:
-        set_idx = line_ids & (num_sets - 1)
-    else:
-        set_idx = line_ids % num_sets
-    shard_idx = set_idx % num_shards
+    shard_idx = shard_index(line_ids, num_sets, num_shards)
     shards = []
     for shard in range(num_shards):
         positions = np.flatnonzero(shard_idx == shard)
@@ -104,41 +171,6 @@ def _remap_events(
     return steps, kinds, event_labels
 
 
-def _replay_shard(payload):
-    """Worker-process entry: replay one shard from an engine snapshot.
-
-    ``payload`` = (geometry, chunk_size, strategy, state, positions,
-    line_ids, is_write, label_ids, labels, collect_events, base_step).
-    Returns ``(stats, events-with-global-steps, new-state)``.
-    """
-    (
-        geometry,
-        chunk_size,
-        strategy,
-        state,
-        positions,
-        line_ids,
-        is_write,
-        label_ids,
-        labels,
-        collect_events,
-        base_step,
-    ) = payload
-    engine = ArrayLRUEngine(geometry, chunk_size=chunk_size, strategy=strategy)
-    if state is not None:
-        engine.load_state(state)
-    clock_before = engine.clock
-    stats = CacheStats()
-    events = engine.replay(
-        line_ids, is_write, label_ids, labels, stats, collect_events
-    )
-    return (
-        stats,
-        _remap_events(events, positions, clock_before, base_step),
-        engine.state_dict(),
-    )
-
-
 def merge_events(shard_events: list):
     """Merge per-shard event streams into global chronological order.
 
@@ -158,15 +190,75 @@ def merge_events(shard_events: list):
     return steps[order], kinds[order], labels[order]
 
 
+def _state_nbytes(state: dict | None) -> int:
+    if state is None:
+        return 0
+    return sum(
+        v.nbytes for v in state.values() if isinstance(v, np.ndarray)
+    )
+
+
+def _replay_shard_shm(payload: dict):
+    """Worker-process entry: attach, expand own partition, replay.
+
+    Receives only the shared-memory descriptor, the shard's slice of
+    engine state (``None`` when the cache is cold), and scalars.
+    Returns ``(stats, events-with-global-steps, shard-state,
+    local-entry-count)``.
+    """
+    shm, columns = attach_trace_shm(payload["shm"])
+    try:
+        if payload.get("chaos_kill"):
+            # Test hook: die mid-replay exactly like an OOM-killed
+            # worker would, after the block is attached.
+            os.kill(os.getpid(), signal.SIGKILL)
+        geometry = payload["geometry"]
+        positions, line_ids, is_write, label_ids = expand_shard(
+            *columns,
+            geometry.line_size,
+            geometry.num_sets,
+            payload["num_shards"],
+            payload["shard"],
+        )
+    finally:
+        # Every view into shm.buf must be gone before close().
+        del columns
+        shm.close()
+    engine = ArrayLRUEngine(
+        geometry,
+        chunk_size=payload["chunk_size"],
+        strategy=payload["strategy"],
+    )
+    state = payload["state"]
+    if state is not None:
+        engine.load_shard_state(payload["shard"], payload["num_shards"], state)
+    clock_before = engine.clock
+    stats = CacheStats()
+    events = engine.replay(
+        line_ids,
+        is_write,
+        label_ids,
+        payload["labels"],
+        stats,
+        payload["collect_events"],
+    )
+    return (
+        stats,
+        _remap_events(events, positions, clock_before, payload["base_step"]),
+        engine.shard_state(payload["shard"], payload["num_shards"]),
+        len(line_ids),
+    )
+
+
 class ShardedLRUSimulator:
     """K independent shard engines presenting the one-engine interface.
 
     Drop-in for :class:`~repro.cachesim.engine.ArrayLRUEngine` as seen
-    by :class:`~repro.cachesim.simulator.CacheSimulator`: ``replay`` /
-    ``flush`` / ``resident_lines`` / ``resident_lines_for`` /
-    ``label_name`` / ``clock``.  ``jobs`` worker processes replay the
-    shards (``jobs=1`` runs them inline, in shard order, with no
-    pickling or state copies).
+    by :class:`~repro.cachesim.simulator.CacheSimulator`, plus
+    :meth:`replay_trace`, the preferred entry: it takes the *compact*
+    trace so the pooled path can ship it zero-copy and expand in the
+    workers.  ``jobs=1`` (or a single live shard) replays inline, in
+    shard order, with no pool, pickling, or state copies.
     """
 
     def __init__(
@@ -182,7 +274,11 @@ class ShardedLRUSimulator:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.geometry = geometry
-        self.num_shards = int(num_shards)
+        # Clamp: sets are assigned round-robin, so shards beyond
+        # num_sets could never own a set — and set % K == set %
+        # num_sets for every set when K >= num_sets, so the clamp is
+        # behaviour-identical.
+        self.num_shards = min(int(num_shards), geometry.num_sets)
         self.jobs = int(jobs)
         self.chunk_size = int(chunk_size)
         self.strategy = strategy
@@ -197,6 +293,13 @@ class ShardedLRUSimulator:
         # tables stay identical and event label ids decode here.
         self._labels: list[str] = []
         self._label_ids: dict[str, int] = {}
+        #: Byte accounting of the last pooled replay (``None`` until a
+        #: pooled replay happens): shm block size and state bytes each
+        #: way.  The bench harness records this per variant.
+        self.last_transport: dict | None = None
+        #: Test hook: shard index whose worker SIGKILLs itself
+        #: mid-replay on the pooled path (chaos suite).
+        self.chaos_kill_shard: int | None = None
 
     # ------------------------------------------------------------------
     def _intern_all(self, labels: list[str]) -> None:
@@ -210,6 +313,59 @@ class ShardedLRUSimulator:
         return self._labels[lid]
 
     # ------------------------------------------------------------------
+    def replay_trace(
+        self,
+        trace,
+        stats: CacheStats,
+        collect_events: bool = False,
+    ):
+        """Replay a compact trace through the shards; merged result.
+
+        Same contract as the engine's ``replay`` but from the
+        *unexpanded* trace: on the pooled path the compact columns go
+        to workers over shared memory and each worker expands only its
+        own partition; inline (``jobs=1``, one live shard, or pool
+        failure) the parent expands once and partitions.
+        """
+        self._intern_all(trace.labels)
+        n = len(trace.addresses)
+        if n == 0:
+            if not collect_events:
+                return None
+            return merge_events([])
+        counts = shard_entry_counts(
+            trace.addresses,
+            trace.sizes,
+            self.geometry.line_size,
+            self.geometry.num_sets,
+            self.num_shards,
+        )
+        live = np.flatnonzero(counts)
+        n_expanded = int(counts.sum())
+        shard_events = None
+        if self.jobs > 1 and live.size > 1:
+            shard_events = self._replay_pool(
+                trace, live.tolist(), stats, collect_events
+            )
+        if shard_events is None:
+            line_ids, is_write, label_ids = _expand_lines(
+                trace, self.geometry.line_size
+            )
+            shards = partition_expanded(
+                line_ids,
+                is_write,
+                label_ids,
+                self.geometry.num_sets,
+                self.num_shards,
+            )
+            shard_events = self._replay_inline(
+                shards, live.tolist(), trace.labels, stats, collect_events
+            )
+        self.clock += n_expanded
+        if not collect_events:
+            return None
+        return merge_events(shard_events)
+
     def replay(
         self,
         line_ids: np.ndarray,
@@ -219,7 +375,11 @@ class ShardedLRUSimulator:
         stats: CacheStats,
         collect_events: bool = False,
     ):
-        """Shard, replay, and merge; same contract as the engine's replay."""
+        """Shard and replay an already-expanded stream, inline.
+
+        Kept for engine-interface compatibility; the zero-copy pooled
+        path lives in :meth:`replay_trace`.
+        """
         self._intern_all(labels)
         shards = partition_expanded(
             line_ids,
@@ -229,14 +389,9 @@ class ShardedLRUSimulator:
             self.num_shards,
         )
         live = [i for i, s in enumerate(shards) if s[0].size]
-        if self.jobs > 1 and len(live) > 1:
-            shard_events = self._replay_pool(
-                shards, live, labels, stats, collect_events
-            )
-        else:
-            shard_events = self._replay_inline(
-                shards, live, labels, stats, collect_events
-            )
+        shard_events = self._replay_inline(
+            shards, live, labels, stats, collect_events
+        )
         self.clock += len(line_ids)
         if not collect_events:
             return None
@@ -256,30 +411,64 @@ class ShardedLRUSimulator:
             )
         return shard_events
 
-    def _replay_pool(self, shards, live, labels, stats, collect_events):
-        payloads = [
-            (
-                self.geometry,
-                self.chunk_size,
-                self.strategy,
-                self._engines[i].state_dict(),
-                shards[i][0],
-                shards[i][1],
-                shards[i][2],
-                shards[i][3],
-                labels,
-                collect_events,
-                self.clock,
-            )
-            for i in live
-        ]
-        workers = min(self.jobs, len(live))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_replay_shard, payloads))
+    def _replay_pool(self, trace, live, stats, collect_events):
+        """Zero-copy pooled replay; ``None`` means "fall back inline".
+
+        Parent state is only mutated after *every* shard result is in
+        hand, so a worker lost mid-replay (``BrokenProcessPool``)
+        leaves the engines untouched and the caller can replay inline
+        for a bit-identical result.  The shared block is closed and
+        unlinked in a ``finally`` either way — no /dev/shm leak even
+        when a worker is SIGKILLed.
+        """
+        executor = _pool.get_pool(min(self.jobs, len(live)))
+        shm, descriptor = trace_to_shm(trace)
+        transport = {
+            "mode": "shared_memory",
+            "shm_name": shm.name,
+            "shm_bytes": shm.size,
+            "state_out_bytes": 0,
+            "state_back_bytes": 0,
+            "workers": min(self.jobs, len(live)),
+        }
+        self.last_transport = transport
+        try:
+            futures = []
+            for i in live:
+                engine = self._engines[i]
+                state = (
+                    engine.shard_state(i, self.num_shards)
+                    if engine.clock
+                    else None
+                )
+                transport["state_out_bytes"] += _state_nbytes(state)
+                payload = {
+                    "shm": descriptor,
+                    "geometry": self.geometry,
+                    "chunk_size": self.chunk_size,
+                    "strategy": self.strategy,
+                    "shard": i,
+                    "num_shards": self.num_shards,
+                    "state": state,
+                    "labels": list(trace.labels),
+                    "base_step": self.clock,
+                    "collect_events": collect_events,
+                    "chaos_kill": self.chaos_kill_shard == i,
+                }
+                futures.append((i, executor.submit(_replay_shard_shm, payload)))
+            try:
+                results = [(i, fut.result()) for i, fut in futures]
+            except BrokenProcessPool:
+                _pool.discard_pool()
+                return None
+        finally:
+            shm.close()
+            shm.unlink()
         shard_events = []
-        for i, (shard_stats, events, state) in zip(live, results):
-            self._engines[i].load_state(state)
+        for i, (shard_stats, events, state, _n_local) in results:
+            self._engines[i].load_shard_state(i, self.num_shards, state)
             stats.merge(shard_stats)
+            transport["state_back_bytes"] += _state_nbytes(state)
             shard_events.append(events)
         return shard_events
 

@@ -32,74 +32,31 @@ from repro.cachesim.engine import (
     AUTO_ARRAY_MIN_REFS,
     DEFAULT_CHUNK_SIZE,
     EVENT_EVICT,
+    STRATEGIES,
     ArrayLRUEngine,
     CacheEngineError,
     check_engine,
 )
-from repro.cachesim.sharding import ShardedLRUSimulator
+from repro.cachesim.expand import _expand_lines, expanded_size  # noqa: F401
+from repro.cachesim.pool import effective_cpus
+from repro.cachesim.sharding import ShardedLRUSimulator, auto_shard_plan
 from repro.cachesim.stats import CacheStats
 from repro.trace.reference import ReferenceTrace
 
+# _expand_lines lives in repro.cachesim.expand (the sharded workers need
+# it without importing this module); re-exported here because the tests
+# and the bench harness historically import it from the simulator.
 
-def _expand_lines(
-    trace: ReferenceTrace, line_size: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Expand byte accesses into per-line touches.
 
-    Returns ``(line_ids, is_write, label_ids)``, with accesses spanning
-    k lines contributing k consecutive entries.
-    """
-    line_size = int(line_size)
-    if len(trace.addresses) == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, np.empty(0, dtype=bool), np.empty(0, dtype=np.int32)
-    if line_size & (line_size - 1) == 0:
-        # Power-of-two line size: shifts beat int64 division ~10x, and
-        # the straddle test needs no second division at all.
-        shift = line_size.bit_length() - 1
-        first = trace.addresses >> shift
-        within = trace.addresses & (line_size - 1)
-        within += trace.sizes
-        if int(within.max()) <= line_size:
-            return first, trace.is_write, trace.label_ids
-        last = (trace.addresses + trace.sizes - 1) >> shift
-    else:
-        first = trace.addresses // line_size
-        last = (trace.addresses + trace.sizes - 1) // line_size
-    spans = last - first
-    spans += 1
-    max_span = int(spans.max())
-    if max_span == 1:
-        return first, trace.is_write, trace.label_ids
-    if max_span == 2:
-        # Common case: only two-line straddles.  Scatter each access to
-        # slot i + (#straddles before i); straddles fill the next slot
-        # too — cheaper than the generic np.repeat construction.
-        straddle = spans == 2
-        total = len(spans) + int(np.count_nonzero(straddle))
-        slots = np.cumsum(spans) - spans
-        line_ids = np.empty(total, dtype=np.int64)
-        is_write = np.empty(total, dtype=bool)
-        label_ids = np.empty(total, dtype=np.int32)
-        line_ids[slots] = first
-        is_write[slots] = trace.is_write
-        label_ids[slots] = trace.label_ids
-        extra = slots[straddle] + 1
-        line_ids[extra] = first[straddle] + 1
-        is_write[extra] = trace.is_write[straddle]
-        label_ids[extra] = trace.label_ids[straddle]
-        return line_ids, is_write, label_ids
-    total = int(spans.sum())
-    # Offsets of each access's first entry in the expanded arrays.
-    starts = np.zeros(len(spans), dtype=np.int64)
-    np.cumsum(spans[:-1], out=starts[1:])
-    line_ids = np.repeat(first, spans)
-    # Within-access line offsets: position - start_of_own_access.
-    positions = np.arange(total, dtype=np.int64)
-    line_ids += positions - np.repeat(starts, spans)
-    return line_ids, np.repeat(trace.is_write, spans), np.repeat(
-        trace.label_ids, spans
-    )
+def _parallelism_arg(value, name: str):
+    """Validate a ``shards``/``jobs`` argument: ``"auto"`` or int >= 1."""
+    if value == "auto":
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be 'auto' or an int >= 1, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
 
 
 class CacheSimulator:
@@ -135,14 +92,19 @@ class CacheSimulator:
         ``"scalar"``); all three are bit-identical, ``"adaptive"``
         picks per chunk on estimated throughput.
     shards:
-        Number of set-index shards (default 1 = unsharded).  ``K > 1``
-        partitions the expanded stream by set index and replays each
-        shard through its own array engine — bit-identical merged
-        results (see :mod:`repro.cachesim.sharding`).  Requires the LRU
-        policy and the array engine.
+        ``"auto"`` (default) or a set-index shard count.  ``K > 1``
+        partitions the line stream by set index and replays each shard
+        through its own array engine — bit-identical merged results
+        (see :mod:`repro.cachesim.sharding`); requires the LRU policy
+        and the array engine.  ``"auto"`` defers to the first
+        :meth:`run` and asks
+        :func:`~repro.cachesim.sharding.auto_shard_plan` whether the
+        trace is big enough (and the machine parallel enough) for
+        sharding to win; on one CPU it never shards.
     jobs:
-        Worker processes for sharded replay; ``1`` (default) replays
-        shards inline in this process.
+        Worker processes for sharded replay.  ``"auto"`` (default)
+        follows the shard plan (one process per shard, never more than
+        visible CPUs); ``1`` replays shards inline in this process.
     auto_min_refs:
         Expanded-trace size at which ``engine="auto"`` picks the array
         engine (default
@@ -158,8 +120,8 @@ class CacheSimulator:
         engine: str = "auto",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         strategy: str = "adaptive",
-        shards: int = 1,
-        jobs: int = 1,
+        shards: int | str = "auto",
+        jobs: int | str = "auto",
         auto_min_refs: int = AUTO_ARRAY_MIN_REFS,
     ):
         if policy not in SetAssociativeCache.POLICIES:
@@ -167,24 +129,34 @@ class CacheSimulator:
                 f"policy must be one of {SetAssociativeCache.POLICIES}, "
                 f"got {policy!r}"
             )
-        if shards < 1:
-            raise ValueError(f"shards must be >= 1, got {shards}")
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        shards = _parallelism_arg(shards, "shards")
+        jobs = _parallelism_arg(jobs, "jobs")
+        # Engine construction may be deferred to the first run; fail
+        # bad engine parameters at construction time regardless.
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
         self.geometry = geometry
         self.policy = policy
         self._seed = seed
         self._chunk_size = chunk_size
         self._strategy = strategy
         self._auto_min_refs = int(auto_min_refs)
-        self.shards = int(shards)
-        self.jobs = int(jobs)
+        #: Resolved shard/worker counts; hold the requested values
+        #: (possibly ``"auto"``) until the first run pins them.
+        self.shards = shards
+        self.jobs = jobs
         resolved = check_engine(engine, policy)
         self._stats = CacheStats()
         #: The dict-based oracle; ``None`` under the array engine.
         self.cache: SetAssociativeCache | None = None
         self._array: ArrayLRUEngine | ShardedLRUSimulator | None = None
-        if self.shards > 1:
+        if isinstance(shards, int) and shards > 1:
+            # Explicit shard count: construct eagerly (callers rely on
+            # introspecting the sharded engine before the first run).
             # Sharded replay rides on the array engine's set
             # independence; the oracle path cannot be partitioned.
             if policy != "lru":
@@ -198,23 +170,35 @@ class CacheSimulator:
                     "engine; drop engine='reference' or use shards=1"
                 )
             self.engine = "array"
+            self.jobs = (
+                jobs if isinstance(jobs, int)
+                else max(1, min(shards, effective_cpus()))
+            )
             self._array = ShardedLRUSimulator(
                 geometry,
-                self.shards,
+                shards,
                 jobs=self.jobs,
                 chunk_size=chunk_size,
                 strategy=strategy,
             )
+            self.shards = self._array.num_shards
         elif engine == "auto" and policy == "lru":
-            # Deferred: routed by expanded-trace size at the first run.
+            # Deferred: engine and shard plan routed by expanded-trace
+            # size at the first run.
             self.engine = "auto"
         elif resolved == "array":
             self.engine = "array"
-            self._array = ArrayLRUEngine(
-                geometry, chunk_size=chunk_size, strategy=strategy
-            )
+            if shards == "auto":
+                # Engine known, shard plan deferred to the first run.
+                pass
+            else:
+                self.shards, self.jobs = 1, 1
+                self._array = ArrayLRUEngine(
+                    geometry, chunk_size=chunk_size, strategy=strategy
+                )
         else:
             self.engine = "reference"
+            self.shards, self.jobs = 1, 1
             self.cache = SetAssociativeCache(
                 geometry, stats=self._stats, policy=policy, seed=seed
             )
@@ -282,38 +266,73 @@ class CacheSimulator:
         return self.cache.resident_lines_for(label)
 
     # -- trace replay ----------------------------------------------------
-    def _resolve_auto(self, n_refs: int) -> None:
-        """Pick the engine for a deferred ``engine="auto"`` by trace size.
+    def _plan_sharding(self, n_refs: int) -> tuple[int, int]:
+        """Pin the deferred shard/worker counts for an array run.
+
+        Only reached with ``shards`` still ``"auto"`` or ``1`` (explicit
+        ``shards > 1`` constructs eagerly in ``__init__``).
+        """
+        if self.shards == "auto":
+            shards, jobs = auto_shard_plan(n_refs, self.geometry.num_sets)
+            if isinstance(self.jobs, int):
+                jobs = max(1, min(self.jobs, shards))
+            if shards > 1 and jobs > 1:
+                return shards, jobs
+            # An explicit jobs=1 (or a plan of one shard) means inline
+            # sharding, which buys nothing over the plain engine.
+        return 1, 1
+
+    def _resolve(self, trace: ReferenceTrace) -> None:
+        """Pin deferred ``"auto"`` choices from the first trace's size.
 
         The array engine's batching overhead loses to the dict oracle
         below :data:`~repro.cachesim.engine.AUTO_ARRAY_MIN_REFS`
-        expanded touches; the first run's size decides, and the engine
-        then stays fixed for the simulator's lifetime (warm-cache
-        multi-run callers keep one state).
+        expanded touches, and sharding only wins past
+        :data:`~repro.cachesim.sharding.SHARD_AUTO_MIN_REFS` with spare
+        CPUs (:func:`~repro.cachesim.sharding.auto_shard_plan`).  The
+        expanded size comes from span arithmetic — nothing is
+        materialised here.  The first run's size decides, and the
+        choice then stays fixed for the simulator's lifetime
+        (warm-cache multi-run callers keep one state).
         """
-        if n_refs >= self._auto_min_refs:
+        n_refs = expanded_size(trace, self.geometry.line_size)
+        if self.engine == "auto":
+            if n_refs < self._auto_min_refs:
+                self.engine = "reference"
+                self.shards, self.jobs = 1, 1
+                self.cache = SetAssociativeCache(
+                    self.geometry,
+                    stats=self._stats,
+                    policy=self.policy,
+                    seed=self._seed,
+                )
+                return
             self.engine = "array"
+        self.shards, self.jobs = self._plan_sharding(n_refs)
+        if self.shards > 1:
+            self._array = ShardedLRUSimulator(
+                self.geometry,
+                self.shards,
+                jobs=self.jobs,
+                chunk_size=self._chunk_size,
+                strategy=self._strategy,
+            )
+        else:
             self._array = ArrayLRUEngine(
                 self.geometry,
                 chunk_size=self._chunk_size,
                 strategy=self._strategy,
             )
-        else:
-            self.engine = "reference"
-            self.cache = SetAssociativeCache(
-                self.geometry,
-                stats=self._stats,
-                policy=self.policy,
-                seed=self._seed,
-            )
 
     def run(self, trace: ReferenceTrace) -> CacheStats:
         """Simulate ``trace``; returns the accumulated stats object."""
+        if self._array is None and self.cache is None:
+            self._resolve(trace)
+        if isinstance(self._array, ShardedLRUSimulator):
+            return self._run_sharded(trace)
         line_ids, writes, label_ids = _expand_lines(
             trace, self.geometry.line_size
         )
-        if self.engine == "auto":
-            self._resolve_auto(len(line_ids))
         if self._array is not None:
             return self._run_array(trace, line_ids, writes, label_ids)
         if self.policy != "lru":
@@ -328,6 +347,21 @@ class CacheSimulator:
                 access(line_id, is_write, labels[lid])
             return self._stats
         return self._run_reference(trace, line_ids, writes, label_ids)
+
+    def _apply_events(self, events, name_of, end_clock: int) -> None:
+        """Replay engine residency events into the integral accounting."""
+        steps, kinds, event_labels = events
+        evict = self._residency_evict
+        insert = self._residency_insert
+        for step, kind, lid in zip(
+            steps.tolist(), kinds.tolist(), event_labels.tolist()
+        ):
+            self._steps = step
+            if kind == EVENT_EVICT:
+                evict(name_of(lid))
+            else:
+                insert(name_of(lid))
+        self._steps = end_clock
 
     def _run_array(
         self,
@@ -349,19 +383,24 @@ class CacheSimulator:
             collect_events=self.track_residency,
         )
         if self.track_residency:
-            steps, kinds, event_labels = events
-            name_of = engine.label_name
-            evict = self._residency_evict
-            insert = self._residency_insert
-            for step, kind, lid in zip(
-                steps.tolist(), kinds.tolist(), event_labels.tolist()
-            ):
-                self._steps = step
-                if kind == EVENT_EVICT:
-                    evict(name_of(lid))
-                else:
-                    insert(name_of(lid))
-            self._steps = engine.clock
+            self._apply_events(events, engine.label_name, engine.clock)
+        return self._stats
+
+    def _run_sharded(self, trace: ReferenceTrace) -> CacheStats:
+        """Sharded replay from the compact trace.
+
+        The sharded simulator owns expansion (worker-side on the pooled
+        path), so this never materialises the full expanded stream in
+        the parent when worker processes are in play.
+        """
+        engine = self._array
+        for name in trace.labels:
+            self._stats.label(name)
+        events = engine.replay_trace(
+            trace, self._stats, collect_events=self.track_residency
+        )
+        if self.track_residency:
+            self._apply_events(events, engine.label_name, engine.clock)
         return self._stats
 
     def _run_reference(
@@ -430,8 +469,8 @@ def simulate_trace(
     flush_at_end: bool = False,
     policy: str = "lru",
     engine: str = "auto",
-    shards: int = 1,
-    jobs: int = 1,
+    shards: int | str = "auto",
+    jobs: int | str = "auto",
 ) -> CacheStats:
     """One-shot convenience: simulate a whole trace on a cold cache."""
     sim = CacheSimulator(

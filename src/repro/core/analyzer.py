@@ -44,9 +44,11 @@ class AnalyzerConfig:
         (``"auto"``/``"array"``/``"reference"``); statistics are
         bit-identical either way for LRU.
     jobs / shards:
-        Set-sharded (parallel) simulation for the ground-truth path;
-        defaults keep it single-process and unsharded.  Results stay
-        bit-identical (see :mod:`repro.cachesim.sharding`).
+        Set-sharded (parallel) simulation for the ground-truth path.
+        The defaults (``"auto"``) let the tuner shard big traces on
+        multi-core hosts and stay single-process everywhere else;
+        explicit ints pin the counts.  Results stay bit-identical
+        either way (see :mod:`repro.cachesim.sharding`).
     trace_cache:
         Optional :class:`~repro.trace.cache.TraceCache` (or cache
         directory path) reusing persisted kernel traces across
@@ -58,8 +60,8 @@ class AnalyzerConfig:
     flops_rate: float = 2.0e9
     bandwidth: float = 12.8e9
     engine: str = "auto"
-    jobs: int = 1
-    shards: int = 1
+    jobs: int | str = "auto"
+    shards: int | str = "auto"
     trace_cache: object = None
 
 

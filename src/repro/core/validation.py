@@ -70,8 +70,8 @@ def validate_kernel(
     mode: str = "strict",
     sink: DiagnosticSink | None = None,
     engine: str = "auto",
-    jobs: int = 1,
-    shards: int = 1,
+    jobs: int | str = "auto",
+    shards: int | str = "auto",
     trace_cache=None,
 ) -> ValidationResult:
     """Run both evaluation paths and compare per data structure.
@@ -82,7 +82,8 @@ def validate_kernel(
     ground truth and always raises on failure.  ``engine`` selects the
     cache-simulation engine (``"auto"``/``"array"``/``"reference"``);
     both produce bit-identical statistics for LRU.  ``shards``/``jobs``
-    enable set-sharded (parallel) simulation, and ``trace_cache`` — a
+    control set-sharded (parallel) simulation — the ``"auto"`` defaults
+    shard only when the tuner predicts a win — and ``trace_cache`` — a
     :class:`~repro.trace.cache.TraceCache` or cache-directory path —
     reuses persisted traces across calls; all three preserve
     bit-identical results.  The reported ``simulation_seconds`` covers

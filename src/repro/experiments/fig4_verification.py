@@ -37,8 +37,8 @@ def run_fig4(
     kernels: tuple[str, ...] = KERNEL_ORDER,
     caches: dict | None = None,
     engine: str = "auto",
-    jobs: int = 1,
-    shards: int = 1,
+    jobs: int | str = "auto",
+    shards: int | str = "auto",
     trace_cache=None,
 ) -> list[Fig4Row]:
     """Regenerate the Figure 4 data series.

@@ -45,8 +45,8 @@ def run_fig5(
     caches: dict | None = None,
     fit: float = DEFAULT_FIT,
     engine: str = "auto",
-    jobs: int = 1,
-    shards: int = 1,
+    jobs: int | str = "auto",
+    shards: int | str = "auto",
     trace_cache=None,
 ) -> list[Fig5Cell]:
     """Regenerate the Figure 5 data series (analytical path only).

@@ -40,15 +40,29 @@ EXIT_CHECKPOINT_MISMATCH = 3
 EXIT_CHECKPOINT_CORRUPT = 4
 
 
-def _sim_parallelism(args) -> tuple[int, int]:
+def _shards_flag(value: str):
+    """``--shards`` argparse type: ``auto`` or an int shard count."""
+    if value == "auto":
+        return "auto"
+    return int(value)
+
+
+def _sim_parallelism(args) -> tuple:
     """(jobs, shards) for sharded simulation from the CLI flags.
 
-    ``--shards`` defaults to the job count, so ``--jobs 4`` alone gets
-    a 4-shard, 4-worker simulation; results are bit-identical at any
+    Both default to ``auto``: the tuner shards big traces on multi-core
+    hosts and runs single-process everywhere else.  An explicit
+    ``--jobs N`` without ``--shards`` keeps the historical behaviour of
+    an N-shard, N-worker simulation; results are bit-identical at any
     combination.
     """
-    jobs = args.jobs if args.jobs is not None else 1
-    shards = args.shards if args.shards is not None else jobs
+    jobs = args.jobs if args.jobs is not None else "auto"
+    if args.shards is not None:
+        shards = args.shards
+    elif isinstance(jobs, int):
+        shards = jobs
+    else:
+        shards = "auto"
     return jobs, shards
 
 
@@ -119,6 +133,7 @@ def _fi(args) -> str:
             timeout=args.timeout,
             checkpoint_dir=args.resume,
             engine=args.engine,
+            shards=args.shards if args.shards is not None else "auto",
             trace_cache=args.trace_cache,
         )
     )
@@ -196,12 +211,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--shards",
-        type=int,
+        type=_shards_flag,
         default=None,
-        metavar="K",
-        help="fig4/fig5: split the cache simulation into K set-index "
-        "shards (default: the --jobs count); any K gives bit-identical "
-        "statistics",
+        metavar="K|auto",
+        help="fig4/fig5/fi: split the cache simulation into K set-index "
+        "shards, or 'auto' to let the tuner pick from trace size and "
+        "CPU count (default: the --jobs count if given, else auto); "
+        "any choice gives bit-identical statistics",
     )
     parser.add_argument(
         "--trace-cache",

@@ -145,11 +145,29 @@ def _run_kernel(spec: JobSpec, degraded: bool) -> dict:
             f"job {spec.id!r}: unknown cache geometry {geometry_key!r}; "
             f"available: {sorted(PAPER_CACHES)}"
         )
-    engine = "reference" if degraded else str(options.get("engine", "auto"))
+    if degraded:
+        # Degraded mode is the circuit breaker's safe path: the
+        # reference engine cannot shard, and a struggling worker should
+        # not fork a simulation pool of its own.
+        engine, shards, jobs = "reference", 1, 1
+    else:
+        engine = str(options.get("engine", "auto"))
+        shards = options.get("shards", "auto")
+        jobs = options.get("jobs", "auto")
     analyzer = DVFAnalyzer(
-        AnalyzerConfig(geometry=PAPER_CACHES[geometry_key], engine=engine)
+        AnalyzerConfig(
+            geometry=PAPER_CACHES[geometry_key],
+            engine=engine,
+            shards=shards,
+            jobs=jobs,
+        )
     )
-    report = analyzer.analyze(kernel, workload)
+    if options.get("simulated"):
+        # Ground-truth path: N_ha from the cache simulator (this is
+        # where engine/shards/jobs actually bite).
+        report = analyzer.analyze_simulated(kernel, workload)
+    else:
+        report = analyzer.analyze(kernel, workload)
     return {"ok": True, "payload": report.to_payload(), "engine": engine}
 
 

@@ -18,10 +18,27 @@ from repro.cachesim import (
     ShardedLRUSimulator,
     simulate_trace,
 )
+from repro.cachesim.expand import (
+    expand_shard,
+    expanded_size,
+    shard_entry_counts,
+)
 from repro.cachesim.sharding import merge_events, partition_expanded
 from repro.cachesim.simulator import _expand_lines
+from repro.trace.io import attach_trace_shm, trace_to_shm
+from repro.trace.reference import ReferenceTrace
 
 from test_engine_differential import GEOMETRIES, assert_identical, random_trace
+
+
+def _empty_trace():
+    return ReferenceTrace(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=bool),
+        np.empty(0, dtype=np.int32),
+        ["x"],
+    )
 
 
 def sharded_pair(geometry, shards, jobs=1, track=True):
@@ -175,3 +192,173 @@ class TestPartition:
     def test_merge_events_empty(self):
         steps, kinds, labels = merge_events([None, None])
         assert steps.size == 0 and kinds.size == 0 and labels.size == 0
+
+
+class TestExpandShard:
+    """Worker-side expansion vs partitioning the full expansion.
+
+    The zero-copy pooled path trusts ``expand_shard`` to produce, from
+    the compact columns alone, exactly the partition that
+    ``partition_expanded`` would cut from ``_expand_lines``'s full
+    stream — positions, line ids, write flags, and label ids all equal
+    to the last element.  ``shard_entry_counts`` must agree on sizes.
+    """
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES, ids=str)
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_matches_partitioned_full_expansion(self, geometry, num_shards):
+        rng = np.random.default_rng(
+            abs(hash((geometry.num_sets, geometry.line_size, num_shards)))
+            % (1 << 32)
+        )
+        for _ in range(3):
+            trace = random_trace(rng, n=int(rng.integers(1, 1200)))
+            full = _expand_lines(trace, geometry.line_size)
+            assert expanded_size(trace, geometry.line_size) == len(full[0])
+            want = partition_expanded(
+                *full, geometry.num_sets, num_shards
+            )
+            counts = shard_entry_counts(
+                trace.addresses,
+                trace.sizes,
+                geometry.line_size,
+                geometry.num_sets,
+                num_shards,
+            )
+            assert int(counts.sum()) == len(full[0])
+            for shard in range(num_shards):
+                got = expand_shard(
+                    trace.addresses,
+                    trace.sizes,
+                    trace.is_write,
+                    trace.label_ids,
+                    geometry.line_size,
+                    geometry.num_sets,
+                    num_shards,
+                    shard,
+                )
+                assert int(counts[shard]) == want[shard][0].size
+                for got_col, want_col in zip(got, want[shard]):
+                    np.testing.assert_array_equal(got_col, want_col)
+
+    def test_no_straddle_fast_path(self):
+        # Single-byte accesses: no access crosses a line boundary, so
+        # the span-free fast path must cover the whole stream.
+        geometry = CacheGeometry(4, 64, 32)
+        rng = np.random.default_rng(11)
+        trace = random_trace(rng, n=400, max_size=1)
+        assert expanded_size(trace, geometry.line_size) == 400
+        full = _expand_lines(trace, geometry.line_size)
+        want = partition_expanded(*full, geometry.num_sets, 3)
+        for shard in range(3):
+            got = expand_shard(
+                trace.addresses,
+                trace.sizes,
+                trace.is_write,
+                trace.label_ids,
+                geometry.line_size,
+                geometry.num_sets,
+                3,
+                shard,
+            )
+            for got_col, want_col in zip(got, want[shard]):
+                np.testing.assert_array_equal(got_col, want_col)
+
+    def test_empty_trace(self):
+        trace = _empty_trace()
+        assert expanded_size(trace, 64) == 0
+        counts = shard_entry_counts(
+            trace.addresses, trace.sizes, 64, 8, 4
+        )
+        assert counts.tolist() == [0, 0, 0, 0]
+        got = expand_shard(
+            trace.addresses,
+            trace.sizes,
+            trace.is_write,
+            trace.label_ids,
+            64,
+            8,
+            4,
+            0,
+        )
+        assert all(col.size == 0 for col in got)
+
+
+class TestShmTransport:
+    def test_round_trip(self):
+        trace = random_trace(np.random.default_rng(2), n=333)
+        shm, descriptor = trace_to_shm(trace)
+        try:
+            assert descriptor["n"] == 333
+            attached, columns = attach_trace_shm(descriptor)
+            addresses, sizes, is_write, label_ids = columns
+            np.testing.assert_array_equal(addresses, trace.addresses)
+            np.testing.assert_array_equal(sizes, trace.sizes)
+            np.testing.assert_array_equal(is_write, trace.is_write)
+            np.testing.assert_array_equal(label_ids, trace.label_ids)
+            del columns, addresses, sizes, is_write, label_ids
+            attached.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            trace_to_shm(_empty_trace())
+
+
+class TestDegenerateRouting:
+    """Geometry/trace edges must route inline, never to the pool."""
+
+    def test_shard_count_clamped_to_num_sets(self):
+        geometry = CacheGeometry(4, 8, 32)
+        sim = CacheSimulator(geometry, engine="array", shards=100, jobs=1)
+        assert sim.shards == 8
+        assert sim._array.num_shards == 8
+
+    def test_single_live_shard_stays_inline(self, monkeypatch):
+        # Every access lands in set 0, so only one shard is ever live:
+        # the pool must not be consulted even with jobs > 1.
+        def _boom(jobs):
+            raise AssertionError("pool must not be used for one live shard")
+
+        monkeypatch.setattr("repro.cachesim.pool.get_pool", _boom)
+        geometry = CacheGeometry(4, 64, 32)
+        stride = geometry.line_size * geometry.num_sets
+        n = 60
+        addresses = (np.arange(n, dtype=np.int64) % 7) * stride
+        trace = ReferenceTrace(
+            addresses,
+            np.full(n, 4, dtype=np.int64),
+            np.arange(n) % 3 == 0,
+            np.zeros(n, dtype=np.int32),
+            ["x"],
+        )
+        base = CacheSimulator(geometry, engine="array", track_residency=True)
+        sharded = CacheSimulator(
+            geometry,
+            track_residency=True,
+            engine="array",
+            shards=4,
+            jobs=4,
+        )
+        base.run(trace)
+        sharded.run(trace)
+        assert_identical(sharded, base, trace.labels)
+
+    def test_zero_length_trace_sharded(self, monkeypatch):
+        def _boom(jobs):
+            raise AssertionError("pool must not be used for an empty trace")
+
+        monkeypatch.setattr("repro.cachesim.pool.get_pool", _boom)
+        geometry = CacheGeometry(4, 64, 32)
+        sim = CacheSimulator(
+            geometry,
+            track_residency=True,
+            engine="array",
+            shards=2,
+            jobs=2,
+        )
+        sim.run(_empty_trace())
+        assert sim.stats.total.accesses == 0
+        assert sim.resident_lines() == 0
