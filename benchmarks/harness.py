@@ -9,10 +9,17 @@ against this file instead of re-deriving throughput claims by hand.
 
 ``--pipeline`` times the end-to-end Figure 4 pipeline instead and
 writes ``BENCH_pipeline.json``: the sweep with a cold vs a warm
-persistent trace cache, and the Monte Carlo large-LLC simulation swept
+persistent trace cache, the Monte Carlo large-LLC simulation swept
 across set-shard counts (1 / 2 / 4 / detected cores) plus a
 ``shards="auto"`` variant, with per-variant ``parallel_efficiency``,
-shared-memory transport bytes, and the auto-tuner's thresholds.
+shared-memory transport bytes, and the auto-tuner's thresholds — and a
+``streaming`` section measuring *peak RSS* (``ru_maxrss``) of chunked
+streaming replay vs monolithic replay of the same seeded synthetic
+MC-style trace on the 8MB LLC, each in its own subprocess so the
+high-water marks don't contaminate each other.  In streaming mode the
+trace is generated chunk-by-chunk and never materialised, so the
+recorded ``trace_bytes`` can exceed the streaming ``peak_rss_bytes``
+severalfold; the sampling estimator rides along as a third probe.
 
 Usage::
 
@@ -35,6 +42,7 @@ import gc
 import json
 import os
 import platform
+import subprocess
 import sys
 import tempfile
 import time
@@ -58,7 +66,14 @@ def _keep_large_buffers_on_heap() -> bool:
         return False
 
 
-MALLOC_TUNED = _keep_large_buffers_on_heap()
+# RSS-probe subprocesses measure memory, not speed: the mmap-threshold
+# tuning deliberately trades RSS (freed buffers parked on free-lists)
+# for allocation speed, which would inflate a streaming high-water mark
+# by retained fragmentation.  Probes keep glibc's default behaviour of
+# returning large buffers to the OS on free.
+MALLOC_TUNED = (
+    False if os.environ.get("DVF_RSS_PROBE") else _keep_large_buffers_on_heap()
+)
 
 REPO_SRC = Path(__file__).resolve().parent.parent / "src"
 if str(REPO_SRC) not in sys.path:  # allow running without PYTHONPATH
@@ -299,10 +314,224 @@ def bench_sharded(tier: str, repeats: int, shard_counts=None) -> dict:
     }
 
 
+# --------------------------------------------------------------------
+# Streaming replay: peak-RSS probes
+# --------------------------------------------------------------------
+
+#: Synthetic stream sizing per tier.  The verification point is sized so
+#: the compact trace (21 bytes/ref) is several times larger than the
+#: streaming process's whole peak RSS — the artifact the streaming
+#: pipeline exists to produce.
+STREAM_REFS = {"test": 4_000_000, "verification": 48_000_000}
+STREAM_CHUNK_REFS = 262_144
+STREAM_BYTES_PER_REF = 8 + 8 + 1 + 4  # addresses, sizes, is_write, label
+_STREAM_LABELS = ["state", "rhs", "scratch"]
+_STREAM_ADDR_SPACE = 1 << 26  # 64MB footprint: 8x the 8MB LLC
+_STREAM_SEED = 2024
+
+
+def synthetic_chunks(refs: int, chunk_refs: int, seed: int = _STREAM_SEED):
+    """Yield a seeded MC-style reference stream chunk by chunk.
+
+    Uniform 8-byte accesses over a footprint 8x the LLC, 30% writes,
+    three labels.  One sequentially-consumed generator makes the stream
+    a pure function of ``(refs, chunk_refs=any, seed)`` **per chunk
+    boundary layout**, so the monolithic probe regenerates the identical
+    trace by concatenating the same chunks; at no point here does more
+    than one chunk exist.
+    """
+    import numpy as np
+
+    from repro.trace.reference import ReferenceTrace
+
+    rng = np.random.default_rng(seed)
+    for start in range(0, refs, chunk_refs):
+        n = min(chunk_refs, refs - start)
+        yield ReferenceTrace(
+            addresses=rng.integers(
+                0, _STREAM_ADDR_SPACE, size=n, dtype=np.int64
+            ),
+            sizes=np.full(n, 8, dtype=np.int64),
+            is_write=rng.random(n) < 0.3,
+            label_ids=rng.integers(
+                0, len(_STREAM_LABELS), size=n, dtype=np.int32
+            ),
+            labels=list(_STREAM_LABELS),
+        )
+
+
+def _peak_rss_bytes() -> int:
+    """This process's lifetime RSS high-water mark, in bytes.
+
+    Prefers ``/proc/self/status`` ``VmHWM`` where it exists: it is a
+    property of the memory map, which ``execve`` replaces — whereas
+    ``getrusage``'s ``ru_maxrss`` survives exec and therefore reports
+    the *spawning benchmark parent's* high-water mark as a floor for
+    every probe subprocess (measured: a trivial child of an 800MB
+    parent shows ru_maxrss 826MB, VmHWM 9MB).
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    import resource
+
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return ru_maxrss * (1 if sys.platform == "darwin" else 1024)
+
+
+def run_rss_probe(mode: str, refs: int, chunk_refs: int) -> dict:
+    """One replay of the synthetic stream; prints a JSON result line.
+
+    Runs inside a fresh subprocess (``--rss-probe``) so ``ru_maxrss``
+    reflects only this mode's allocations on top of the interpreter
+    baseline — a monolithic run in the same process would poison the
+    streaming high-water mark.
+    """
+    import numpy as np
+
+    from repro.cachesim.configs import PAPER_CACHES
+
+    geometry = PAPER_CACHES["8MB"]
+    start = time.perf_counter()
+    if mode == "streaming":
+        sim = CacheSimulator(geometry, engine="array")
+        sim.run_stream(synthetic_chunks(refs, chunk_refs))
+        stats = sim.stats.as_dict()
+    elif mode == "monolithic":
+        from repro.trace.reference import ReferenceTrace
+
+        chunks = list(synthetic_chunks(refs, chunk_refs))
+        trace = ReferenceTrace(
+            addresses=np.concatenate([c.addresses for c in chunks]),
+            sizes=np.concatenate([c.sizes for c in chunks]),
+            is_write=np.concatenate([c.is_write for c in chunks]),
+            label_ids=np.concatenate([c.label_ids for c in chunks]),
+            labels=list(_STREAM_LABELS),
+        )
+        del chunks
+        sim = CacheSimulator(geometry, engine="array")
+        sim.run(trace)
+        stats = sim.stats.as_dict()
+    elif mode == "estimate":
+        from repro.cachesim.estimate import TraceEstimator
+
+        estimator = TraceEstimator(
+            geometry, sample_fraction=0.125, seed=_STREAM_SEED
+        )
+        for chunk in synthetic_chunks(refs, chunk_refs):
+            estimator.consume(chunk)
+        stats = estimator.finish().as_dict()
+    else:  # pragma: no cover - guarded by argparse choices
+        raise ValueError(f"unknown probe mode {mode!r}")
+    seconds = time.perf_counter() - start
+    result = {
+        "mode": mode,
+        "refs": refs,
+        "chunk_refs": chunk_refs,
+        "seconds": seconds,
+        "refs_per_sec": refs / seconds,
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "malloc_tuned": MALLOC_TUNED,
+        "stats": stats,
+    }
+    print(json.dumps(result))
+    return result
+
+
+def _spawn_probe(mode: str, refs: int, chunk_refs: int) -> dict:
+    """Run one RSS probe in a subprocess and parse its JSON line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    env["DVF_RSS_PROBE"] = "1"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--rss-probe",
+            mode,
+            "--stream-refs",
+            str(refs),
+            "--chunk-refs",
+            str(chunk_refs),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"rss probe {mode!r} failed "
+            f"(exit {proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def bench_streaming(
+    tier: str, refs: int | None = None, chunk_refs: int = STREAM_CHUNK_REFS
+) -> dict:
+    """Peak-RSS comparison: streaming vs monolithic vs estimator.
+
+    Each mode replays the same seeded synthetic stream in its own
+    subprocess.  Records bit-identity of streaming vs monolithic
+    statistics, the estimator's per-label coverage against the exact
+    counts, and ``trace_bytes / streaming peak RSS`` — the memory-bound
+    headline (>1 means the replayed trace could not have fit in the
+    memory streaming actually used).
+    """
+    if refs is None:
+        refs = STREAM_REFS[tier]
+    streaming = _spawn_probe("streaming", refs, chunk_refs)
+    monolithic = _spawn_probe("monolithic", refs, chunk_refs)
+    estimate = _spawn_probe("estimate", refs, chunk_refs)
+    exact_stats = monolithic["stats"]
+    identical = streaming.pop("stats") == exact_stats
+    est_stats = estimate.pop("stats")
+    coverage = {}
+    for name, counts in exact_stats.items():
+        est = est_stats["by_label"][name]
+        coverage[name] = {
+            "exact_misses": counts["misses"],
+            "estimated_misses": est["misses"],
+            "misses_halfwidth": est["misses_halfwidth"],
+            "covered": (
+                abs(est["misses"] - counts["misses"])
+                <= est["misses_halfwidth"]
+            ),
+        }
+    monolithic.pop("stats")
+    trace_bytes = refs * STREAM_BYTES_PER_REF
+    return {
+        "refs": refs,
+        "chunk_refs": chunk_refs,
+        "trace_bytes": trace_bytes,
+        "bytes_per_ref": STREAM_BYTES_PER_REF,
+        "streaming": streaming,
+        "monolithic": monolithic,
+        "estimate": {
+            **estimate,
+            "sample_fraction": est_stats["sample_fraction"],
+            "sampled_refs": est_stats["sampled_refs"],
+            "coverage": coverage,
+        },
+        "identical": identical,
+        "rss_ratio": (
+            monolithic["peak_rss_bytes"] / streaming["peak_rss_bytes"]
+        ),
+        "trace_over_streaming_rss": (
+            trace_bytes / streaming["peak_rss_bytes"]
+        ),
+    }
+
+
 def run_pipeline(tier: str = "verification", repeats: int = 2) -> dict:
     """End-to-end pipeline benchmark; returns the BENCH_pipeline payload."""
     return {
-        "schema": "BENCH_pipeline/2",
+        "schema": "BENCH_pipeline/3",
         "tier": tier,
         "repeats": repeats,
         "python": platform.python_version(),
@@ -311,6 +540,7 @@ def run_pipeline(tier: str = "verification", repeats: int = 2) -> dict:
         "malloc_tuned": MALLOC_TUNED,
         "trace_cache": bench_trace_cache(tier, repeats),
         "sharded": bench_sharded(tier, repeats),
+        "streaming": bench_streaming(tier),
     }
 
 
@@ -357,6 +587,26 @@ def render_pipeline(payload: dict) -> str:
         f"plan {tuner['plan']}"
     )
     lines.append(f"  all shard counts identical: {sh['all_identical']}")
+    st = payload["streaming"]
+    lines.append(
+        f"  streaming probes ({st['refs']} refs, "
+        f"chunk {st['chunk_refs']}, trace "
+        f"{st['trace_bytes'] / 1e6:.0f}MB):"
+    )
+    for mode in ("monolithic", "streaming", "estimate"):
+        row = st[mode]
+        lines.append(
+            f"    {mode:10s}: {row['seconds']:7.2f}s  "
+            f"{row['refs_per_sec']:.3g} refs/s  "
+            f"peak RSS {row['peak_rss_bytes'] / 1e6:7.1f}MB"
+        )
+    covered = sum(c["covered"] for c in st["estimate"]["coverage"].values())
+    lines.append(
+        f"    identical={st['identical']}  "
+        f"RSS ratio mono/stream {st['rss_ratio']:.2f}x  "
+        f"trace/streaming-RSS {st['trace_over_streaming_rss']:.2f}x  "
+        f"estimator coverage {covered}/{len(st['estimate']['coverage'])}"
+    )
     return "\n".join(lines)
 
 
@@ -413,11 +663,42 @@ def main(argv=None) -> int:
         "(default: BENCH_cachesim.json, or BENCH_pipeline.json "
         "with --pipeline)",
     )
+    parser.add_argument(
+        "--rss-probe",
+        choices=("streaming", "monolithic", "estimate"),
+        default=None,
+        metavar="MODE",
+        help="internal: replay the synthetic stream in MODE and print "
+        "one JSON line with wall time and this process's peak RSS "
+        "(the --pipeline parent spawns one subprocess per mode)",
+    )
+    parser.add_argument(
+        "--stream-refs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --rss-probe: length of the synthetic stream "
+        "(default: the tier's STREAM_REFS)",
+    )
+    parser.add_argument(
+        "--chunk-refs",
+        type=int,
+        default=STREAM_CHUNK_REFS,
+        metavar="N",
+        help="with --rss-probe: streaming chunk size in references",
+    )
     args = parser.parse_args(argv)
+    if args.rss_probe:
+        refs = args.stream_refs or STREAM_REFS[args.tier]
+        run_rss_probe(args.rss_probe, refs, args.chunk_refs)
+        return 0
     if args.pipeline:
         out = args.out or "BENCH_pipeline.json"
         payload = run_pipeline(tier=args.tier, repeats=args.repeats)
-        ok = payload["sharded"]["all_identical"]
+        ok = (
+            payload["sharded"]["all_identical"]
+            and payload["streaming"]["identical"]
+        )
         text = render_pipeline(payload)
     else:
         out = args.out or "BENCH_cachesim.json"

@@ -39,6 +39,12 @@ from repro.cachesim.engine import (
     CacheEngineError,
     check_engine,
 )
+from repro.cachesim.estimate import (
+    EstimateResult,
+    LabelEstimate,
+    TraceEstimator,
+    estimate_trace,
+)
 from repro.cachesim.expand import expanded_size
 from repro.cachesim.pool import (
     effective_cpus,
@@ -65,6 +71,10 @@ __all__ = [
     "LabelStats",
     "check_engine",
     "simulate_trace",
+    "estimate_trace",
+    "EstimateResult",
+    "LabelEstimate",
+    "TraceEstimator",
     "expanded_size",
     "auto_shard_plan",
     "effective_cpus",

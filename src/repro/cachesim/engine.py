@@ -270,6 +270,40 @@ class ArrayLRUEngine:
         self._labels = list(state["labels"])
         self._label_ids = {name: i for i, name in enumerate(self._labels)}
 
+    def state_diff(self, sets: np.ndarray) -> dict:
+        """Snapshot only the rows of ``sets`` (ascending set indices).
+
+        The replay kernel mutates exactly the sets its line stream
+        touches, so a worker that replayed one partition can ship back
+        ``state_diff(unique touched sets)`` instead of its whole shard
+        slice — typically a small fraction of the rows when the chunk is
+        smaller than the cache's set count.  Restore with
+        :meth:`apply_state_diff`; rows not in ``sets`` are untouched by
+        construction, so applying the diff reproduces the worker's full
+        state exactly.
+        """
+        sets = np.asarray(sets, dtype=np.int64)
+        return {
+            "sets": sets,
+            "tags": self._tags[sets],
+            "age": self._age[sets],
+            "dirty": self._dirty[sets],
+            "label": self._label[sets],
+            "clock": self.clock,
+            "labels": list(self._labels),
+        }
+
+    def apply_state_diff(self, diff: dict) -> None:
+        """Scatter a :meth:`state_diff` snapshot back into the state."""
+        sets = diff["sets"]
+        self._tags[sets] = diff["tags"]
+        self._age[sets] = diff["age"]
+        self._dirty[sets] = diff["dirty"]
+        self._label[sets] = diff["label"]
+        self.clock = int(diff["clock"])
+        self._labels = list(diff["labels"])
+        self._label_ids = {name: i for i, name in enumerate(self._labels)}
+
     # ------------------------------------------------------------------
     # introspection (oracle-comparable)
     # ------------------------------------------------------------------

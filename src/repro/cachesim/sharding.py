@@ -62,6 +62,7 @@ from __future__ import annotations
 import os
 import signal
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -74,12 +75,13 @@ from repro.cachesim.engine import (
 from repro.cachesim.expand import (
     _expand_lines,
     expand_shard,
+    set_index,
     shard_entry_counts,
     shard_index,
 )
 from repro.cachesim.pool import effective_cpus
 from repro.cachesim.stats import CacheStats
-from repro.trace.io import attach_trace_shm, trace_to_shm
+from repro.trace.io import TraceShmRing, attach_trace_shm, trace_to_shm
 
 #: Below this many expanded references a single array-engine pass is so
 #: fast (tens of milliseconds) that even a warm pool's submit/collect
@@ -203,8 +205,11 @@ def _replay_shard_shm(payload: dict):
 
     Receives only the shared-memory descriptor, the shard's slice of
     engine state (``None`` when the cache is cold), and scalars.
-    Returns ``(stats, events-with-global-steps, shard-state,
-    local-entry-count)``.
+    Returns ``(stats, events-with-global-steps, state-diff,
+    local-entry-count)`` — the state comes back as a *diff* holding
+    only the sets this replay touched (the replay kernel provably
+    mutates no other row), so the return pickle scales with the chunk,
+    not the cache.
     """
     shm, columns = attach_trace_shm(payload["shm"])
     try:
@@ -242,10 +247,11 @@ def _replay_shard_shm(payload: dict):
         stats,
         payload["collect_events"],
     )
+    touched = np.unique(set_index(line_ids, geometry.num_sets))
     return (
         stats,
         _remap_events(events, positions, clock_before, payload["base_step"]),
-        engine.shard_state(payload["shard"], payload["num_shards"]),
+        engine.state_diff(touched),
         len(line_ids),
     )
 
@@ -300,6 +306,46 @@ class ShardedLRUSimulator:
         #: Test hook: shard index whose worker SIGKILLs itself
         #: mid-replay on the pooled path (chaos suite).
         self.chaos_kill_shard: int | None = None
+        # Streaming state: inside a stream_scope the pooled path packs
+        # chunks into one reusable shared block instead of allocating
+        # and unlinking a block per chunk.
+        self._streaming = False
+        self._ring: TraceShmRing | None = None
+
+    # ------------------------------------------------------------------
+    # streaming (chunked-iterator protocol)
+    # ------------------------------------------------------------------
+    def _ensure_ring(self, n: int) -> TraceShmRing:
+        if self._ring is None or self._ring.capacity < n:
+            self._drop_ring()
+            self._ring = TraceShmRing(n)
+        return self._ring
+
+    def _drop_ring(self) -> None:
+        if self._ring is not None:
+            self._ring.close()
+            self._ring.unlink()
+            self._ring = None
+
+    @contextmanager
+    def stream_scope(self):
+        """Reuse one shared-memory ring across chunked pooled replays.
+
+        Inside the scope every :meth:`replay_trace` call packs its
+        chunk into a ring sized for the largest chunk seen so far
+        (typically allocated once, by the first chunk, since streams
+        carry fixed-size chunks).  The ring is closed and unlinked when
+        the scope exits, including on error — the same no-leak
+        guarantee the per-call path gets from its ``finally``.
+        """
+        if self._streaming:
+            raise RuntimeError("stream_scope is not reentrant")
+        self._streaming = True
+        try:
+            yield self
+        finally:
+            self._streaming = False
+            self._drop_ring()
 
     # ------------------------------------------------------------------
     def _intern_all(self, labels: list[str]) -> None:
@@ -422,11 +468,20 @@ class ShardedLRUSimulator:
         when a worker is SIGKILLed.
         """
         executor = _pool.get_pool(min(self.jobs, len(live)))
-        shm, descriptor = trace_to_shm(trace)
+        if self._streaming:
+            # Ring path: the block outlives this chunk; the enclosing
+            # stream_scope unlinks it once when the stream ends.
+            shm = None
+            ring = self._ensure_ring(len(trace.addresses))
+            descriptor = ring.pack(trace)
+            shm_name, shm_bytes = ring.name, ring.nbytes
+        else:
+            shm, descriptor = trace_to_shm(trace)
+            shm_name, shm_bytes = shm.name, shm.size
         transport = {
-            "mode": "shared_memory",
-            "shm_name": shm.name,
-            "shm_bytes": shm.size,
+            "mode": "shared_memory_ring" if shm is None else "shared_memory",
+            "shm_name": shm_name,
+            "shm_bytes": shm_bytes,
             "state_out_bytes": 0,
             "state_back_bytes": 0,
             "workers": min(self.jobs, len(live)),
@@ -462,13 +517,14 @@ class ShardedLRUSimulator:
                 _pool.discard_pool()
                 return None
         finally:
-            shm.close()
-            shm.unlink()
+            if shm is not None:
+                shm.close()
+                shm.unlink()
         shard_events = []
-        for i, (shard_stats, events, state, _n_local) in results:
-            self._engines[i].load_shard_state(i, self.num_shards, state)
+        for i, (shard_stats, events, diff, _n_local) in results:
+            self._engines[i].apply_state_diff(diff)
             stats.merge(shard_stats)
-            transport["state_back_bytes"] += _state_nbytes(state)
+            transport["state_back_bytes"] += _state_nbytes(diff)
             shard_events.append(events)
         return shard_events
 

@@ -24,6 +24,8 @@ kernel in ``BENCH_cachesim.json``.
 
 from __future__ import annotations
 
+from contextlib import contextmanager, nullcontext
+
 import numpy as np
 
 from repro.cachesim.cache import SetAssociativeCache, _Line
@@ -282,7 +284,7 @@ class CacheSimulator:
             # sharding, which buys nothing over the plain engine.
         return 1, 1
 
-    def _resolve(self, trace: ReferenceTrace) -> None:
+    def _resolve(self, trace: ReferenceTrace, streaming: bool = False) -> None:
         """Pin deferred ``"auto"`` choices from the first trace's size.
 
         The array engine's batching overhead loses to the dict oracle
@@ -294,7 +296,16 @@ class CacheSimulator:
         materialised here.  The first run's size decides, and the
         choice then stays fixed for the simulator's lifetime
         (warm-cache multi-run callers keep one state).
+
+        Under ``streaming`` the first *chunk*'s size says nothing about
+        the stream's total, so the auto routes flip to the big-trace
+        answers instead: ``engine="auto"`` picks the array engine
+        (callers stream precisely because the trace is large), and
+        ``shards="auto"`` stays at one shard (an explicit ``shards=K``
+        was constructed eagerly and is honoured per chunk).
         """
+        if streaming and self.engine == "auto":
+            self.engine = "array"
         n_refs = expanded_size(trace, self.geometry.line_size)
         if self.engine == "auto":
             if n_refs < self._auto_min_refs:
@@ -308,7 +319,10 @@ class CacheSimulator:
                 )
                 return
             self.engine = "array"
-        self.shards, self.jobs = self._plan_sharding(n_refs)
+        if streaming:
+            self.shards, self.jobs = 1, 1
+        else:
+            self.shards, self.jobs = self._plan_sharding(n_refs)
         if self.shards > 1:
             self._array = ShardedLRUSimulator(
                 self.geometry,
@@ -324,10 +338,70 @@ class CacheSimulator:
                 strategy=self._strategy,
             )
 
-    def run(self, trace: ReferenceTrace) -> CacheStats:
-        """Simulate ``trace``; returns the accumulated stats object."""
+    def run(self, trace) -> CacheStats:
+        """Simulate a trace; returns the accumulated stats object.
+
+        Accepts either a :class:`ReferenceTrace` or an *iterable of
+        chunks* (anything yielding ``ReferenceTrace`` pieces, e.g.
+        :func:`~repro.trace.reference.iter_chunks` or a recorder's
+        :meth:`~repro.trace.recorder.TraceRecorder.finish_chunks`); the
+        latter is routed through :meth:`run_stream` and is bit-identical
+        to running the concatenated trace monolithically.
+        """
+        if not isinstance(trace, ReferenceTrace):
+            return self.run_stream(trace)
         if self._array is None and self.cache is None:
             self._resolve(trace)
+        return self._dispatch(trace)
+
+    def run_chunk(self, chunk: ReferenceTrace) -> CacheStats:
+        """Simulate one chunk of a stream (push-mode streaming entry).
+
+        Identical to :meth:`run` except that deferred ``"auto"``
+        choices resolve with streaming semantics (see :meth:`_resolve`):
+        a small first chunk must not route a billion-reference stream
+        onto the dict oracle.  Use this as the ``sink=`` of a streaming
+        :class:`~repro.trace.recorder.TraceRecorder`, ideally inside
+        :meth:`stream_scope`.
+        """
+        if self._array is None and self.cache is None:
+            self._resolve(chunk, streaming=True)
+        return self._dispatch(chunk)
+
+    def run_stream(self, chunks) -> CacheStats:
+        """Simulate an iterable of trace chunks (pull-mode streaming).
+
+        Peak memory is O(chunk), not O(trace): each chunk is expanded,
+        replayed against the persistent warm engine state, and dropped.
+        The result — counters, residency events and integrals, final
+        cache state — is bit-identical to a monolithic :meth:`run` of
+        the concatenated trace, because expansion is per-reference
+        elementwise and the engines already replay in bounded batches
+        with persistent state.
+        """
+        with self.stream_scope():
+            for chunk in chunks:
+                self.run_chunk(chunk)
+        return self._stats
+
+    @contextmanager
+    def stream_scope(self):
+        """Context for a run of :meth:`run_chunk` calls.
+
+        With an explicit ``shards=K`` the sharded engine reuses one
+        shared-memory ring across the scope's chunks instead of
+        allocating a block per chunk; otherwise this is a no-op.
+        """
+        ctx = (
+            self._array.stream_scope()
+            if isinstance(self._array, ShardedLRUSimulator)
+            else nullcontext()
+        )
+        with ctx:
+            yield self
+
+    def _dispatch(self, trace: ReferenceTrace) -> CacheStats:
+        """Route one resolved trace/chunk to the active engine."""
         if isinstance(self._array, ShardedLRUSimulator):
             return self._run_sharded(trace)
         line_ids, writes, label_ids = _expand_lines(
@@ -464,15 +538,55 @@ class CacheSimulator:
 
 
 def simulate_trace(
-    trace: ReferenceTrace,
+    trace,
     geometry: CacheGeometry,
     flush_at_end: bool = False,
     policy: str = "lru",
     engine: str = "auto",
     shards: int | str = "auto",
     jobs: int | str = "auto",
-) -> CacheStats:
-    """One-shot convenience: simulate a whole trace on a cold cache."""
+    mode: str = "exact",
+    estimate_options: dict | None = None,
+):
+    """One-shot convenience: simulate a trace on a cold cache.
+
+    ``trace`` may be a :class:`ReferenceTrace` or a chunk iterator (see
+    :meth:`CacheSimulator.run`).  ``mode="exact"`` (default) returns the
+    replayed :class:`~repro.cachesim.stats.CacheStats`;
+    ``mode="estimate"`` instead runs the cluster-sampling estimator
+    (:func:`~repro.cachesim.estimate.estimate_trace`, LRU only) and
+    returns an :class:`~repro.cachesim.estimate.EstimateResult` with
+    per-label confidence half-widths — ``estimate_options`` passes
+    keyword arguments (``sample_fraction``, ``groups``, ``confidence``,
+    ``seed``) through to it.
+    """
+    if mode not in ("exact", "estimate"):
+        raise ValueError(
+            f"mode must be 'exact' or 'estimate', got {mode!r}"
+        )
+    if mode == "estimate":
+        # Late import: repro.cachesim.estimate imports from this module's
+        # siblings, keeping the exact path free of scipy.
+        from repro.cachesim.estimate import estimate_trace
+
+        if policy != "lru":
+            raise CacheEngineError(
+                f"estimator mode rides on the array engine and supports "
+                f"the LRU policy only, got policy={policy!r}"
+            )
+        if engine == "reference":
+            raise CacheEngineError(
+                "estimator mode requires the array engine; drop "
+                "engine='reference' or use mode='exact'"
+            )
+        return estimate_trace(
+            trace,
+            geometry,
+            flush_at_end=flush_at_end,
+            **(estimate_options or {}),
+        )
+    if estimate_options is not None:
+        raise ValueError("estimate_options only applies to mode='estimate'")
     sim = CacheSimulator(
         geometry, policy=policy, engine=engine, shards=shards, jobs=jobs
     )

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cachesim.configs import CacheGeometry
-from repro.cachesim.simulator import simulate_trace
 from repro.core.dvf import DVFReport, build_report
 from repro.core.fit import NO_ECC
 from repro.core.runtime import RooflineRuntime, RuntimeProvider
@@ -53,6 +52,22 @@ class AnalyzerConfig:
         Optional :class:`~repro.trace.cache.TraceCache` (or cache
         directory path) reusing persisted kernel traces across
         ground-truth evaluations.
+    chunk_refs:
+        When set, the ground-truth path streams the trace in chunks of
+        this many references (O(chunk) peak memory; bit-identical to
+        the monolithic replay).  Without a ``trace_cache`` the kernel
+        records straight into the simulator and the full trace never
+        exists.
+    sim_mode:
+        ``"exact"`` (default) replays the whole trace;
+        ``"estimate"`` runs the cluster-sampling estimator instead
+        (:mod:`repro.cachesim.estimate`) — ``N_ha`` becomes an
+        estimate with confidence half-widths, at a fraction of the
+        replay cost.
+    estimate_options:
+        Keyword arguments for the estimator (``sample_fraction``,
+        ``groups``, ``confidence``, ``seed``); only valid with
+        ``sim_mode="estimate"``.
     """
 
     geometry: CacheGeometry
@@ -63,6 +78,9 @@ class AnalyzerConfig:
     jobs: int | str = "auto"
     shards: int | str = "auto"
     trace_cache: object = None
+    chunk_refs: int | None = None
+    sim_mode: str = "exact"
+    estimate_options: dict | None = None
 
 
 class DVFAnalyzer:
@@ -135,16 +153,28 @@ class DVFAnalyzer:
         workload: Workload,
         runtime: RuntimeProvider | None = None,
     ) -> DVFReport:
-        """Ground-truth DVF report: ``N_ha`` from the cache simulator."""
+        """Ground-truth DVF report: ``N_ha`` from the cache simulator.
+
+        Honours the config's ``chunk_refs`` (streamed, O(chunk)-memory
+        trace replay) and ``sim_mode`` (``"estimate"`` substitutes the
+        cluster-sampling estimator's point estimates for the exact
+        counts).
+        """
+        from repro.core.validation import ground_truth_stats
+
         if runtime is None:
             runtime = self.runtime_provider(kernel, workload)
-        trace = kernel.trace(workload, cache=self.config.trace_cache)
-        stats = simulate_trace(
-            trace,
+        stats = ground_truth_stats(
+            kernel,
+            workload,
             self.config.geometry,
             engine=self.config.engine,
             shards=self.config.shards,
             jobs=self.config.jobs,
+            trace_cache=self.config.trace_cache,
+            chunk_refs=self.config.chunk_refs,
+            sim_mode=self.config.sim_mode,
+            estimate_options=self.config.estimate_options,
         )
         nha = {
             name: float(stats.misses(name))

@@ -13,9 +13,11 @@ import time
 from dataclasses import dataclass
 
 from repro.cachesim.configs import CacheGeometry
-from repro.cachesim.simulator import simulate_trace
+from repro.cachesim.engine import CacheEngineError
+from repro.cachesim.simulator import CacheSimulator, simulate_trace
 from repro.diagnostics import DiagnosticSink, check_mode
 from repro.kernels.base import Kernel, Workload
+from repro.trace.reference import iter_chunks
 
 
 @dataclass(frozen=True)
@@ -25,6 +27,9 @@ class StructureValidation:
     structure: str
     simulated: float
     estimated: float
+    #: Confidence half-width of ``simulated`` when the simulation side
+    #: ran in estimator mode; 0 for an exact replay.
+    simulated_halfwidth: float = 0.0
 
     @property
     def relative_error(self) -> float:
@@ -63,6 +68,69 @@ class ValidationResult:
         raise KeyError(f"no structure {name!r} in validation result")
 
 
+def ground_truth_stats(
+    kernel: Kernel,
+    workload: Workload,
+    geometry: CacheGeometry,
+    engine: str = "auto",
+    shards: int | str = "auto",
+    jobs: int | str = "auto",
+    trace_cache=None,
+    chunk_refs: int | None = None,
+    sim_mode: str = "exact",
+    estimate_options: dict | None = None,
+):
+    """Run the simulation (ground-truth) side of a validation.
+
+    Returns :class:`~repro.cachesim.stats.CacheStats` in exact mode or
+    an :class:`~repro.cachesim.estimate.EstimateResult` in estimator
+    mode; both answer ``.misses(name)``.  ``chunk_refs`` streams the
+    trace — without a ``trace_cache`` the kernel records straight into
+    the consumer and the monolithic trace is never materialised.
+    """
+    if sim_mode not in ("exact", "estimate"):
+        raise ValueError(
+            f"sim_mode must be 'exact' or 'estimate', got {sim_mode!r}"
+        )
+    if sim_mode == "exact" and estimate_options is not None:
+        raise ValueError(
+            "estimate_options only applies to sim_mode='estimate'"
+        )
+    if chunk_refs is not None and trace_cache is None:
+        # True streaming: the recorder pushes chunks straight into the
+        # consumer; the monolithic trace is never materialised.
+        if sim_mode == "estimate":
+            if engine == "reference":
+                raise CacheEngineError(
+                    "estimator mode requires the array engine; drop "
+                    "engine='reference' or use sim_mode='exact'"
+                )
+            from repro.cachesim.estimate import TraceEstimator
+
+            estimator = TraceEstimator(geometry, **(estimate_options or {}))
+            kernel.trace_stream(workload, chunk_refs, estimator.consume)
+            return estimator.finish()
+        sim = CacheSimulator(
+            geometry, engine=engine, shards=shards, jobs=jobs
+        )
+        with sim.stream_scope():
+            kernel.trace_stream(workload, chunk_refs, sim.run_chunk)
+        return sim.stats
+    trace = kernel.trace(workload, cache=trace_cache)
+    source = (
+        iter_chunks(trace, chunk_refs) if chunk_refs is not None else trace
+    )
+    return simulate_trace(
+        source,
+        geometry,
+        engine=engine,
+        shards=shards,
+        jobs=jobs,
+        mode=sim_mode,
+        estimate_options=estimate_options,
+    )
+
+
 def validate_kernel(
     kernel: Kernel,
     workload: Workload,
@@ -73,6 +141,9 @@ def validate_kernel(
     jobs: int | str = "auto",
     shards: int | str = "auto",
     trace_cache=None,
+    chunk_refs: int | None = None,
+    sim_mode: str = "exact",
+    estimate_options: dict | None = None,
 ) -> ValidationResult:
     """Run both evaluation paths and compare per data structure.
 
@@ -89,16 +160,41 @@ def validate_kernel(
     bit-identical results.  The reported ``simulation_seconds`` covers
     trace acquisition (cached or collected) plus simulation, so a warm
     trace cache shows up in the measured cost ratio.
+
+    ``chunk_refs`` streams the trace in fixed-size chunks: with no
+    ``trace_cache`` the kernel records straight into the simulator
+    (peak memory O(chunk), the full trace never exists); with a cache
+    the persisted trace is re-chunked on the way in.  Both are
+    bit-identical to the monolithic path.  ``sim_mode="estimate"``
+    replaces exact replay with the cluster-sampling estimator
+    (:mod:`repro.cachesim.estimate`): ``simulated`` becomes an estimate
+    and each row carries its ``simulated_halfwidth``;
+    ``estimate_options`` passes ``sample_fraction``/``groups``/
+    ``confidence``/``seed`` through.
     """
     check_mode(mode)
+    if sim_mode not in ("exact", "estimate"):
+        raise ValueError(
+            f"sim_mode must be 'exact' or 'estimate', got {sim_mode!r}"
+        )
+    if sim_mode == "exact" and estimate_options is not None:
+        raise ValueError("estimate_options only applies to sim_mode='estimate'")
     start = time.perf_counter()
     estimated = kernel.estimate_nha(workload, geometry, mode=mode, sink=sink)
     model_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    trace = kernel.trace(workload, cache=trace_cache)
-    stats = simulate_trace(
-        trace, geometry, engine=engine, shards=shards, jobs=jobs
+    stats = ground_truth_stats(
+        kernel,
+        workload,
+        geometry,
+        engine=engine,
+        shards=shards,
+        jobs=jobs,
+        trace_cache=trace_cache,
+        chunk_refs=chunk_refs,
+        sim_mode=sim_mode,
+        estimate_options=estimate_options,
     )
     simulation_seconds = time.perf_counter() - start
 
@@ -107,6 +203,11 @@ def validate_kernel(
             structure=name,
             simulated=float(stats.misses(name)),
             estimated=float(estimate),
+            simulated_halfwidth=(
+                float(stats.misses_halfwidth(name))
+                if sim_mode == "estimate"
+                else 0.0
+            ),
         )
         for name, estimate in estimated.items()
     )

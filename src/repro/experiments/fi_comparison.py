@@ -69,6 +69,9 @@ def run_fi_comparison(
     engine: str = "auto",
     shards: int | str = "auto",
     trace_cache=None,
+    chunk_refs: int | None = None,
+    sim_mode: str = "exact",
+    estimate_options: dict | None = None,
 ) -> list[FIComparisonRow]:
     """Run campaigns and compare against DVF for injectable kernels.
 
@@ -81,7 +84,9 @@ def run_fi_comparison(
     ``shards`` select the cache-simulation engine and sharding used by
     any simulated evaluation (``shards="auto"`` lets the tuner decide),
     and ``trace_cache`` lets those evaluations reuse traces persisted
-    by a fig4 run over the same workloads.
+    by a fig4 run over the same workloads.  ``chunk_refs``/``sim_mode``/
+    ``estimate_options`` carry the streaming/estimator knobs into those
+    simulated evaluations (see :class:`~repro.core.analyzer.AnalyzerConfig`).
     """
     analyzer = DVFAnalyzer(
         AnalyzerConfig(
@@ -89,6 +94,9 @@ def run_fi_comparison(
             engine=engine,
             shards=shards,
             trace_cache=trace_cache,
+            chunk_refs=chunk_refs,
+            sim_mode=sim_mode,
+            estimate_options=estimate_options,
         )
     )
     rows: list[FIComparisonRow] = []

@@ -48,12 +48,16 @@ def run_fig5(
     jobs: int | str = "auto",
     shards: int | str = "auto",
     trace_cache=None,
+    chunk_refs: int | None = None,
+    sim_mode: str = "exact",
+    estimate_options: dict | None = None,
 ) -> list[Fig5Cell]:
     """Regenerate the Figure 5 data series (analytical path only).
 
-    ``engine``/``jobs``/``shards``/``trace_cache`` are carried in the
-    analyzer config for any simulated cross-checks callers run
-    alongside the analytical sweep.
+    ``engine``/``jobs``/``shards``/``trace_cache`` — and the streaming
+    knobs ``chunk_refs``/``sim_mode``/``estimate_options`` — are
+    carried in the analyzer config for any simulated cross-checks
+    callers run alongside the analytical sweep.
     """
     caches = caches if caches is not None else FIG5_CACHES
     workloads = WORKLOADS[tier]
@@ -67,6 +71,9 @@ def run_fig5(
                 jobs=jobs,
                 shards=shards,
                 trace_cache=trace_cache,
+                chunk_refs=chunk_refs,
+                sim_mode=sim_mode,
+                estimate_options=estimate_options,
             )
         )
         for kernel_name in kernels:

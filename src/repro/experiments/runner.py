@@ -66,6 +66,19 @@ def _sim_parallelism(args) -> tuple:
     return jobs, shards
 
 
+def _streaming_knobs(args) -> dict:
+    """chunk_refs/sim_mode/estimate_options kwargs from the CLI flags."""
+    knobs: dict = {
+        "chunk_refs": args.chunk_refs,
+        "sim_mode": "estimate" if args.estimate else "exact",
+    }
+    if args.estimate:
+        knobs["estimate_options"] = {
+            "sample_fraction": args.sample_fraction
+        }
+    return knobs
+
+
 def _fig4(args) -> str:
     from repro.experiments.fig4_verification import render_fig4, run_fig4
 
@@ -77,6 +90,7 @@ def _fig4(args) -> str:
             jobs=jobs,
             shards=shards,
             trace_cache=args.trace_cache,
+            **_streaming_knobs(args),
         )
     )
 
@@ -93,6 +107,7 @@ def _fig5(args) -> str:
             jobs=jobs,
             shards=shards,
             trace_cache=args.trace_cache,
+            **_streaming_knobs(args),
         )
     )
 
@@ -135,6 +150,7 @@ def _fi(args) -> str:
             engine=args.engine,
             shards=args.shards if args.shards is not None else "auto",
             trace_cache=args.trace_cache,
+            **_streaming_knobs(args),
         )
     )
 
@@ -227,6 +243,32 @@ def main(argv: list[str] | None = None) -> int:
         "workload params, schema); fig4 then traces each kernel once "
         "per workload instead of once per cache cell, and later "
         "fig4/fig5/fi runs reuse the artifacts",
+    )
+    parser.add_argument(
+        "--chunk-refs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fig4/fig5/fi: stream each kernel trace through the cache "
+        "simulator in chunks of N references instead of materialising "
+        "it — O(chunk) peak memory, bit-identical statistics (without "
+        "--trace-cache the full trace never exists)",
+    )
+    parser.add_argument(
+        "--estimate",
+        action="store_true",
+        help="fig4/fig5/fi: replace exact cache replay with the "
+        "cluster-sampling estimator — simulated N_ha becomes an "
+        "estimate with confidence half-widths at a fraction of the "
+        "replay cost (LRU array engine only)",
+    )
+    parser.add_argument(
+        "--sample-fraction",
+        type=float,
+        default=0.125,
+        metavar="F",
+        help="with --estimate: fraction of cache-set groups to sample "
+        "(default 0.125; 1.0 degenerates to an exact census)",
     )
     parser.add_argument(
         "--timeout",

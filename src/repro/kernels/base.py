@@ -117,6 +117,20 @@ class Kernel(ABC):
         self.run_traced(workload, recorder)
         return recorder.finish()
 
+    def trace_stream(self, workload: Workload, chunk_refs: int, sink) -> Any:
+        """Run instrumented, pushing fixed-size trace chunks into ``sink``.
+
+        The full trace is never materialised: the recorder flushes a
+        compact :class:`~repro.trace.reference.ReferenceTrace` chunk of
+        ``chunk_refs`` references to ``sink`` as soon as it fills, so
+        peak memory is O(chunk) regardless of trace length.  Returns the
+        kernel's numeric result.
+        """
+        recorder = TraceRecorder(chunk_refs=chunk_refs, sink=sink)
+        result = self.run_traced(workload, recorder)
+        recorder.flush_tail()
+        return result
+
     # ------------------------------------------------------------------
     # analytical model (CGPMAC)
     # ------------------------------------------------------------------

@@ -18,11 +18,18 @@ import numpy as np
 
 
 class _FenwickTree:
-    """Prefix-sum tree over ``n`` integer slots."""
+    """Prefix-sum tree over integer slots, growable by appending.
+
+    The classic fixed-``n`` Fenwick layout, plus :meth:`append`: node
+    ``i`` covers slots ``(i - lowbit(i), i]``, so a new rightmost node's
+    value is computable from existing prefix sums in O(log n) — which is
+    what lets the stack-distance computation run *incrementally* over a
+    chunked stream whose total length is unknown up front.
+    """
 
     __slots__ = ("n", "tree")
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int = 0) -> None:
         self.n = n
         self.tree = [0] * (n + 1)
 
@@ -33,6 +40,16 @@ class _FenwickTree:
         while i <= n:
             tree[i] += delta
             i += i & (-i)
+
+    def append(self, value: int) -> None:
+        """Grow by one slot (0-based index ``n``) holding ``value``."""
+        i = self.n + 1
+        # Node i covers (i - lowbit, i]; every covered slot but the new
+        # one already exists, so its sum is a difference of prefixes.
+        self.tree.append(
+            self.prefix_sum(i - 1) - self.prefix_sum(i - (i & (-i))) + value
+        )
+        self.n = i
 
     def prefix_sum(self, i: int) -> int:
         """Sum of slots [0, i)."""
@@ -48,6 +65,52 @@ class _FenwickTree:
         return self.prefix_sum(hi) - self.prefix_sum(lo)
 
 
+class StackDistanceCounter:
+    """Incremental stack distances over a chunked block-id stream.
+
+    Feeding consecutive chunks to :meth:`distances` yields exactly the
+    per-chunk slices of ``stack_distances(concatenated stream)`` — the
+    latest-position markers and last-seen map persist across calls, so
+    a reuse straddling a chunk boundary gets the same distance as in
+    the monolithic computation.  State grows with the number of
+    *positions* (one Fenwick slot per reference) and distinct blocks.
+    """
+
+    __slots__ = ("_tree", "_last_pos", "_n")
+
+    def __init__(self) -> None:
+        self._tree = _FenwickTree()
+        self._last_pos: dict[int, int] = {}
+        self._n = 0
+
+    @property
+    def references(self) -> int:
+        """References consumed so far."""
+        return self._n
+
+    def distances(self, block_ids: np.ndarray | list[int]) -> np.ndarray:
+        """Stack distances of one chunk, continuing the global stream."""
+        ids = np.asarray(block_ids, dtype=np.int64)
+        out = np.empty(len(ids), dtype=np.int64)
+        tree = self._tree
+        last_pos = self._last_pos
+        i = self._n
+        for j, block in enumerate(ids.tolist()):
+            prev = last_pos.get(block)
+            if prev is None:
+                out[j] = -1
+            else:
+                # Distinct blocks seen in (prev, i): each contributes
+                # its latest-position marker inside the window.
+                out[j] = tree.range_sum(prev + 1, i)
+                tree.add(prev, -1)
+            tree.append(1)
+            last_pos[block] = i
+            i += 1
+        self._n = i
+        return out
+
+
 def stack_distances(block_ids: np.ndarray | list[int]) -> np.ndarray:
     """LRU stack distance for each reference in a block-id sequence.
 
@@ -55,23 +118,7 @@ def stack_distances(block_ids: np.ndarray | list[int]) -> np.ndarray:
     blocks referenced strictly between reference ``i`` and the previous
     reference to the same block, or ``-1`` for a first (cold) reference.
     """
-    ids = np.asarray(block_ids, dtype=np.int64)
-    n = len(ids)
-    out = np.empty(n, dtype=np.int64)
-    tree = _FenwickTree(n)
-    last_pos: dict[int, int] = {}
-    for i, block in enumerate(ids.tolist()):
-        prev = last_pos.get(block)
-        if prev is None:
-            out[i] = -1
-        else:
-            # Distinct blocks seen in (prev, i): each contributes its
-            # latest-position marker inside the window.
-            out[i] = tree.range_sum(prev + 1, i)
-            tree.add(prev, -1)
-        tree.add(i, 1)
-        last_pos[block] = i
-    return out
+    return StackDistanceCounter().distances(block_ids)
 
 
 def misses_for_cache_blocks(

@@ -147,19 +147,35 @@ def _run_kernel(spec: JobSpec, degraded: bool) -> dict:
         )
     if degraded:
         # Degraded mode is the circuit breaker's safe path: the
-        # reference engine cannot shard, and a struggling worker should
-        # not fork a simulation pool of its own.
+        # reference engine cannot shard, a struggling worker should
+        # not fork a simulation pool of its own, and exact replay
+        # avoids the estimator's scipy dependency surface.  Streaming
+        # chunk replay stays available — its whole point is a smaller
+        # memory footprint, the likeliest reason the fast path died.
         engine, shards, jobs = "reference", 1, 1
+        sim_mode, estimate_options = "exact", None
     else:
         engine = str(options.get("engine", "auto"))
         shards = options.get("shards", "auto")
         jobs = options.get("jobs", "auto")
+        sim_mode = "estimate" if options.get("estimate") else "exact"
+        estimate_options = (
+            dict(options["estimate_options"])
+            if sim_mode == "estimate" and "estimate_options" in options
+            else None
+        )
+    chunk_refs = options.get("chunk_refs")
+    if chunk_refs is not None:
+        chunk_refs = int(chunk_refs)
     analyzer = DVFAnalyzer(
         AnalyzerConfig(
             geometry=PAPER_CACHES[geometry_key],
             engine=engine,
             shards=shards,
             jobs=jobs,
+            chunk_refs=chunk_refs,
+            sim_mode=sim_mode,
+            estimate_options=estimate_options,
         )
     )
     if options.get("simulated"):

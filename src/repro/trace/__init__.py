@@ -19,7 +19,7 @@ replace binary instrumentation with an explicit recording layer:
 from repro.trace.address_space import AddressSpace, Segment
 from repro.trace.cache import TraceCache, as_trace_cache, trace_key
 from repro.trace.recorder import TraceRecorder
-from repro.trace.reference import MemoryReference, ReferenceTrace
+from repro.trace.reference import MemoryReference, ReferenceTrace, iter_chunks
 from repro.trace.traced_array import TracedArray
 from repro.trace.io import TRACE_SCHEMA_VERSION, load_trace, save_trace
 
@@ -29,6 +29,7 @@ __all__ = [
     "TraceRecorder",
     "MemoryReference",
     "ReferenceTrace",
+    "iter_chunks",
     "TracedArray",
     "TraceCache",
     "as_trace_cache",

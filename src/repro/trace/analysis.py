@@ -12,6 +12,15 @@ these analyses expose it:
 
 These are exactly the measurements a user needs when deciding which
 CGPMAC pattern describes a new application's data structure.
+
+Each analysis accepts either a full :class:`ReferenceTrace` or a *chunk
+iterator* (the streaming protocol of
+:func:`~repro.trace.reference.iter_chunks` /
+:meth:`~repro.trace.recorder.TraceRecorder.finish_chunks`), so a
+quick-look never forces materialising a trace that was collected
+streamed.  Chunked results are exactly the monolithic ones: stack
+distances carry across chunk boundaries through
+:class:`~repro.patterns.distance.StackDistanceCounter`.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.patterns.distance import stack_distances
+from repro.patterns.distance import StackDistanceCounter, stack_distances
 from repro.trace.reference import ReferenceTrace
 
 
@@ -29,26 +38,46 @@ def _block_ids(trace: ReferenceTrace, line_size: int) -> np.ndarray:
     return (trace.addresses // line_size).astype(np.int64)
 
 
+def _as_chunks(trace):
+    """Normalise a trace-or-chunk-iterator argument to an iterable."""
+    return (trace,) if isinstance(trace, ReferenceTrace) else trace
+
+
 def reuse_distance_histogram(
-    trace: ReferenceTrace, line_size: int = 64, label: str | None = None
+    trace, line_size: int = 64, label: str | None = None
 ) -> dict[int, int]:
     """Histogram of LRU stack distances, ``-1`` bucketing cold misses.
 
     Distances are measured on the *global* block stream (all structures
     interleaved — that is what the cache sees) but can be restricted to
-    one structure's references with ``label``.
+    one structure's references with ``label``.  ``trace`` may be a
+    :class:`ReferenceTrace` or a chunk iterator.
     """
-    blocks = _block_ids(trace, line_size)
-    distances = stack_distances(blocks)
-    if label is not None:
-        mask = trace.label_ids == trace.label_id(label)
-        distances = distances[mask]
-    values, counts = np.unique(distances, return_counts=True)
-    return {int(v): int(c) for v, c in zip(values, counts)}
+    counter = StackDistanceCounter()
+    histogram: dict[int, int] = {}
+    label_seen = False
+    for chunk in _as_chunks(trace):
+        blocks = _block_ids(chunk, line_size)
+        distances = counter.distances(blocks)
+        if label is not None:
+            # A streamed label table grows as a prefix, so a label may
+            # be absent from early chunks without being an error.
+            if label not in chunk.labels:
+                continue
+            label_seen = True
+            distances = distances[
+                chunk.label_ids == chunk.labels.index(label)
+            ]
+        values, counts = np.unique(distances, return_counts=True)
+        for v, c in zip(values.tolist(), counts.tolist()):
+            histogram[int(v)] = histogram.get(int(v), 0) + int(c)
+    if label is not None and not label_seen:
+        raise KeyError(f"label {label!r} not in trace")
+    return histogram
 
 
 def miss_ratio_curve(
-    trace: ReferenceTrace,
+    trace,
     line_size: int = 64,
     sizes: list[int] | None = None,
 ) -> dict[int, float]:
@@ -56,24 +85,40 @@ def miss_ratio_curve(
 
     One stack-distance pass serves every size (Mattson inclusion).
     ``sizes`` defaults to powers of two covering the trace's footprint.
+    ``trace`` may be a :class:`ReferenceTrace` or a chunk iterator; the
+    pass accumulates a distance *histogram* per chunk, so the curve
+    needs O(distinct distances) memory, not O(trace).
     """
-    blocks = _block_ids(trace, line_size)
-    if len(blocks) == 0:
+    counter = StackDistanceCounter()
+    finite_hist: dict[int, int] = {}
+    cold = 0
+    total = 0
+    for chunk in _as_chunks(trace):
+        blocks = _block_ids(chunk, line_size)
+        distances = counter.distances(blocks)
+        total += len(blocks)
+        cold += int(np.count_nonzero(distances < 0))
+        values, counts = np.unique(
+            distances[distances >= 0], return_counts=True
+        )
+        for v, c in zip(values.tolist(), counts.tolist()):
+            finite_hist[v] = finite_hist.get(v, 0) + c
+    if total == 0:
         return {}
-    distances = stack_distances(blocks)
-    finite = distances[distances >= 0]
-    cold = int(np.count_nonzero(distances < 0))
     if sizes is None:
         max_size = max(int(cold), 1)
         sizes = [1 << b for b in range(0, max(max_size.bit_length(), 1) + 1)]
-    total = len(blocks)
+    distance_values = np.array(sorted(finite_hist), dtype=np.int64)
+    cumulative = np.cumsum(
+        [finite_hist[int(v)] for v in distance_values], dtype=np.int64
+    )
+    n_finite = int(cumulative[-1]) if len(cumulative) else 0
     out: dict[int, float] = {}
-    sorted_distances = np.sort(finite)
     for size in sizes:
         # Misses: cold + reuses at distance >= size.
-        hits = int(np.searchsorted(sorted_distances, size, side="left"))
-        misses = cold + (len(sorted_distances) - hits)
-        out[int(size)] = misses / total
+        below = int(np.searchsorted(distance_values, size, side="left"))
+        hits = int(cumulative[below - 1]) if below else 0
+        out[int(size)] = (cold + n_finite - hits) / total
     return out
 
 
@@ -89,26 +134,47 @@ class StructureFootprint:
 
 
 def footprint_summary(
-    trace: ReferenceTrace, line_size: int = 64
+    trace, line_size: int = 64
 ) -> list[StructureFootprint]:
-    """Reference counts, distinct blocks and write mix per structure."""
+    """Reference counts, distinct blocks and write mix per structure.
+
+    ``trace`` may be a :class:`ReferenceTrace` or a chunk iterator;
+    accumulation needs O(footprint) memory (the per-label distinct
+    block sets), not O(trace).
+    """
+    order: list[str] = []
+    refs: dict[str, int] = {}
+    writes: dict[str, int] = {}
+    distinct: dict[str, set[int]] = {}
+    for chunk in _as_chunks(trace):
+        blocks = _block_ids(chunk, line_size)
+        for index, label in enumerate(chunk.labels):
+            if label not in refs:
+                order.append(label)
+                refs[label] = 0
+                writes[label] = 0
+                distinct[label] = set()
+            mask = chunk.label_ids == index
+            n = int(np.count_nonzero(mask))
+            if n == 0:
+                continue
+            refs[label] += n
+            writes[label] += int(np.count_nonzero(chunk.is_write[mask]))
+            distinct[label].update(np.unique(blocks[mask]).tolist())
     out: list[StructureFootprint] = []
-    blocks = _block_ids(trace, line_size)
-    for index, label in enumerate(trace.labels):
-        mask = trace.label_ids == index
-        refs = int(np.count_nonzero(mask))
-        if refs == 0:
+    for label in order:
+        n = refs[label]
+        if n == 0:
             out.append(StructureFootprint(label, 0, 0, 0.0, 0))
             continue
-        distinct = int(len(np.unique(blocks[mask])))
-        writes = int(np.count_nonzero(trace.is_write[mask]))
+        blocks_touched = len(distinct[label])
         out.append(
             StructureFootprint(
                 label=label,
-                references=refs,
-                distinct_blocks=distinct,
-                write_fraction=writes / refs,
-                bytes_touched=distinct * line_size,
+                references=n,
+                distinct_blocks=blocks_touched,
+                write_fraction=writes[label] / n,
+                bytes_touched=blocks_touched * line_size,
             )
         )
     return out

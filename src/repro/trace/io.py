@@ -98,12 +98,19 @@ def trace_shm_bytes(n: int) -> int:
 
 
 def _shm_columns(
-    buf, n: int
+    buf, n: int, capacity: int | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Column views over a block sized for ``capacity`` refs, first ``n`` used.
+
+    Column offsets are laid out for ``capacity`` references (defaulting
+    to ``n``) so a reusable ring block can carry chunks shorter than its
+    capacity without repacking offsets.
+    """
+    cap = n if capacity is None else capacity
     addresses = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=0)
-    sizes = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=8 * n)
-    label_ids = np.ndarray((n,), dtype=np.int32, buffer=buf, offset=16 * n)
-    is_write = np.ndarray((n,), dtype=np.bool_, buffer=buf, offset=20 * n)
+    sizes = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=8 * cap)
+    label_ids = np.ndarray((n,), dtype=np.int32, buffer=buf, offset=16 * cap)
+    is_write = np.ndarray((n,), dtype=np.bool_, buffer=buf, offset=20 * cap)
     return addresses, sizes, is_write, label_ids
 
 
@@ -151,4 +158,67 @@ def attach_trace_shm(
     removed exactly once by the creator's ``unlink()``.
     """
     shm = shared_memory.SharedMemory(name=descriptor["name"])
-    return shm, _shm_columns(shm.buf, descriptor["n"])
+    return shm, _shm_columns(
+        shm.buf, descriptor["n"], descriptor.get("cap")
+    )
+
+
+class TraceShmRing:
+    """A reusable shared-memory block for streaming chunked traces.
+
+    :func:`trace_to_shm` allocates (and unlinks) one block per replay
+    call — fine for a monolithic trace, wasteful when a stream replays
+    thousands of fixed-size chunks.  The ring allocates one block sized
+    for the largest chunk and repacks each chunk in place; workers
+    attach through the same descriptor protocol (``cap`` pins the
+    column offsets to the ring's capacity while ``n`` is the current
+    chunk's length).
+
+    Reuse is safe because the sharded replay protocol is synchronous
+    per chunk: every worker future is resolved before the next chunk is
+    packed, so no consumer can observe a half-overwritten block.  The
+    owner must :meth:`close` and :meth:`unlink` when the stream ends.
+    """
+
+    def __init__(self, capacity_refs: int):
+        if capacity_refs < 1:
+            raise ValueError(
+                f"capacity_refs must be >= 1, got {capacity_refs}"
+            )
+        self.capacity = int(capacity_refs)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=trace_shm_bytes(self.capacity)
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def pack(self, trace: ReferenceTrace) -> dict:
+        """Copy ``trace``'s columns into the block; returns a descriptor."""
+        n = len(trace.addresses)
+        if n == 0:
+            raise ValueError("cannot pack an empty trace into the ring")
+        if n > self.capacity:
+            raise ValueError(
+                f"chunk of {n} refs exceeds ring capacity {self.capacity}"
+            )
+        addresses, sizes, is_write, label_ids = _shm_columns(
+            self._shm.buf, n, self.capacity
+        )
+        addresses[:] = trace.addresses
+        sizes[:] = trace.sizes
+        is_write[:] = trace.is_write
+        label_ids[:] = trace.label_ids
+        del addresses, sizes, is_write, label_ids
+        return {"name": self._shm.name, "n": n, "cap": self.capacity}
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        self._shm.unlink()

@@ -50,6 +50,33 @@ class _Column:
             return np.empty(0, dtype=self.dtype)
         return np.concatenate(parts)
 
+    def take(self, n: int) -> np.ndarray:
+        """Destructively pop the first ``n`` values as one array.
+
+        Consumed storage is released, so draining a recorder in chunks
+        (:meth:`TraceRecorder.finish_chunks` / sink streaming) keeps the
+        column's footprint at O(pending), not O(recorded).
+        """
+        if self.fill:
+            self.chunks.append(self.buf[: self.fill].copy())
+            self.fill = 0
+        parts: list[np.ndarray] = []
+        got = 0
+        while got < n:
+            head = self.chunks[0]
+            need = n - got
+            if len(head) <= need:
+                parts.append(head)
+                self.chunks.pop(0)
+                got += len(head)
+            else:
+                parts.append(head[:need])
+                self.chunks[0] = head[need:]
+                got = n
+        if len(parts) == 1:
+            return np.ascontiguousarray(parts[0])
+        return np.concatenate(parts)
+
 
 class TraceRecorder:
     """Collects labelled memory references from an instrumented kernel.
@@ -59,6 +86,19 @@ class TraceRecorder:
     address_space:
         Optional pre-built :class:`AddressSpace`; a fresh one is created
         by default.
+    chunk_refs:
+        Chunk size (references) for the streaming protocol: the default
+        for :meth:`finish_chunks`, and — when ``sink`` is also given —
+        the auto-flush threshold of sink mode.
+    sink:
+        Optional callable receiving each completed
+        :class:`ReferenceTrace` chunk.  With a sink the recorder
+        *streams*: whenever ``chunk_refs`` references are pending they
+        are drained into the sink mid-recording, so the recorder's
+        footprint stays O(chunk_refs) however long the kernel runs.
+        Call :meth:`flush_tail` after the kernel to push the final
+        partial chunk; :meth:`finish` refuses once anything has been
+        streamed (it could only return a partial trace).
 
     Example
     -------
@@ -70,7 +110,16 @@ class TraceRecorder:
     1
     """
 
-    def __init__(self, address_space: AddressSpace | None = None):
+    def __init__(
+        self,
+        address_space: AddressSpace | None = None,
+        chunk_refs: int | None = None,
+        sink=None,
+    ):
+        if chunk_refs is not None and chunk_refs < 1:
+            raise ValueError(f"chunk_refs must be >= 1, got {chunk_refs}")
+        if sink is not None and chunk_refs is None:
+            raise ValueError("a sink requires chunk_refs (the flush size)")
         self.address_space = address_space or AddressSpace()
         self._addr = _Column(np.int64)
         self._size = _Column(np.int64)
@@ -79,6 +128,12 @@ class TraceRecorder:
         self._label_ids: dict[str, int] = {}
         self._labels: list[str] = []
         self._count = 0
+        self._chunk_refs = chunk_refs
+        self._sink = sink
+        #: References recorded but not yet drained to a chunk/sink.
+        self._pending = 0
+        #: References already streamed out (sink mode / finish_chunks).
+        self._flushed = 0
 
     # ------------------------------------------------------------------
     # layout
@@ -97,6 +152,14 @@ class TraceRecorder:
             self._labels.append(label)
         return lid
 
+    def _added(self, n: int) -> None:
+        """Book ``n`` new references; auto-flush full chunks in sink mode."""
+        self._count += n
+        self._pending += n
+        if self._sink is not None:
+            while self._pending >= self._chunk_refs:
+                self._sink(self._take_chunk(self._chunk_refs))
+
     # ------------------------------------------------------------------
     # scalar recording
     # ------------------------------------------------------------------
@@ -108,7 +171,7 @@ class TraceRecorder:
         self._size.push(size)
         self._write.push(is_write)
         self._label.push(self._intern(label))
-        self._count += 1
+        self._added(1)
 
     def record_element(self, label: str, index: int, is_write: bool) -> None:
         """Record an access to element ``index`` of data structure ``label``."""
@@ -139,7 +202,7 @@ class TraceRecorder:
         self._label.push_array(
             np.full(n, self._intern(label), dtype=np.int32)
         )
-        self._count += n
+        self._added(n)
 
     def record_elements_mixed(
         self, label: str, indices: np.ndarray, writes: np.ndarray
@@ -162,7 +225,7 @@ class TraceRecorder:
         self._size.push_array(np.full(idx.size, seg.element_size, dtype=np.int64))
         self._write.push_array(flags)
         self._label.push_array(np.full(idx.size, self._intern(label), dtype=np.int32))
-        self._count += idx.size
+        self._added(idx.size)
 
     def record_stream(
         self,
@@ -235,7 +298,7 @@ class TraceRecorder:
         self._size.push_array(sizes)
         self._write.push_array(writes)
         self._label.push_array(label_ids)
-        self._count += n * k
+        self._added(n * k)
 
     def record_segments(
         self, parts: list[tuple[str, np.ndarray, bool]]
@@ -295,7 +358,7 @@ class TraceRecorder:
         self._label.push_array(
             np.repeat(np.asarray(seg_label_ids, dtype=np.int32), lengths)
         )
-        self._count += int(lengths.sum())
+        self._added(int(lengths.sum()))
 
     # ------------------------------------------------------------------
     # finish
@@ -305,6 +368,12 @@ class TraceRecorder:
 
     def finish(self) -> ReferenceTrace:
         """Seal the recorder into an immutable columnar trace."""
+        if self._flushed:
+            raise RuntimeError(
+                f"{self._flushed} references were already streamed out in "
+                f"chunks; finish() would return a partial trace "
+                f"(use flush_tail()/finish_chunks() to drain the rest)"
+            )
         return ReferenceTrace(
             self._addr.collect(),
             self._size.collect(),
@@ -312,3 +381,58 @@ class TraceRecorder:
             self._label.collect(),
             list(self._labels),
         )
+
+    # ------------------------------------------------------------------
+    # streaming (chunked-iterator protocol)
+    # ------------------------------------------------------------------
+    def _take_chunk(self, n: int) -> ReferenceTrace:
+        """Destructively drain the oldest ``n`` pending references."""
+        chunk = ReferenceTrace(
+            self._addr.take(n),
+            self._size.take(n),
+            self._write.take(n),
+            self._label.take(n),
+            list(self._labels),
+        )
+        self._pending -= n
+        self._flushed += n
+        return chunk
+
+    def finish_chunks(self, chunk_refs: int | None = None):
+        """Drain the recorder as fixed-size :class:`ReferenceTrace` chunks.
+
+        Yields chunks of exactly ``chunk_refs`` references (defaulting
+        to the constructor's value) plus a shorter final remainder.
+        Concatenating the chunks reproduces :meth:`finish` exactly —
+        same columns, same reference order — but the drain is
+        *destructive*: consumed storage is released as chunks are
+        yielded, so peak memory during downstream consumption is
+        O(pending + chunk) rather than 2x the trace.  Label tables grow
+        as a prefix across chunks (a chunk's table is a prefix of every
+        later chunk's), which every chunk consumer in this codebase
+        handles by interning per chunk.
+        """
+        if self._sink is not None:
+            raise RuntimeError(
+                "finish_chunks() is for pull-mode draining; this recorder "
+                "streams to a sink (call flush_tail() instead)"
+            )
+        chunk_refs = chunk_refs if chunk_refs is not None else self._chunk_refs
+        if chunk_refs is None:
+            raise ValueError(
+                "chunk_refs must be given here or at construction"
+            )
+        if chunk_refs < 1:
+            raise ValueError(f"chunk_refs must be >= 1, got {chunk_refs}")
+        while self._pending:
+            yield self._take_chunk(min(chunk_refs, self._pending))
+
+    def flush_tail(self) -> None:
+        """Push the final partial chunk to the sink (sink mode only)."""
+        if self._sink is None:
+            raise RuntimeError(
+                "flush_tail() only applies to sink-mode recorders "
+                "(construct with sink=...)"
+            )
+        if self._pending:
+            self._sink(self._take_chunk(self._pending))

@@ -131,9 +131,45 @@ class ReferenceTrace:
             labels,
         )
 
+    def slice_refs(self, start: int, stop: int) -> "ReferenceTrace":
+        """Zero-copy sub-trace of references ``[start, stop)``.
+
+        The returned trace shares the column buffers and the label table
+        with ``self`` (numpy slices of contiguous arrays are views), so
+        slicing a trace into chunks costs O(1) memory per chunk.
+        """
+        return ReferenceTrace(
+            self.addresses[start:stop],
+            self.sizes[start:stop],
+            self.is_write[start:stop],
+            self.label_ids[start:stop],
+            self.labels,
+        )
+
     @staticmethod
     def empty() -> "ReferenceTrace":
         """A zero-length trace."""
         z = np.empty(0, dtype=np.int64)
         return ReferenceTrace(z, z.copy(), np.empty(0, dtype=bool),
                               np.empty(0, dtype=np.int32), [])
+
+
+def iter_chunks(
+    trace: ReferenceTrace, chunk_refs: int
+) -> Iterator[ReferenceTrace]:
+    """Yield ``trace`` as consecutive chunks of ``chunk_refs`` references.
+
+    Chunks are zero-copy views (:meth:`ReferenceTrace.slice_refs`), all
+    exactly ``chunk_refs`` long except a shorter final remainder.  This
+    is the pull-side half of the streaming protocol: anything accepting
+    a chunk iterator (``CacheSimulator.run_stream``, the estimator, the
+    chunk-aware :mod:`repro.trace.analysis` functions) consumes either
+    these views or the destructively-drained chunks of
+    :meth:`~repro.trace.recorder.TraceRecorder.finish_chunks`
+    interchangeably.
+    """
+    if chunk_refs < 1:
+        raise ValueError(f"chunk_refs must be >= 1, got {chunk_refs}")
+    n = len(trace)
+    for start in range(0, n, chunk_refs):
+        yield trace.slice_refs(start, min(start + chunk_refs, n))

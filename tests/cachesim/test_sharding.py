@@ -284,6 +284,86 @@ class TestExpandShard:
         assert all(col.size == 0 for col in got)
 
 
+class TestStateDiffs:
+    """Workers ship touched-set diffs, not whole shard slices.
+
+    The replay kernel mutates exactly the sets its line stream touches,
+    so ``state_diff(unique touched sets)`` applied over the parent's
+    engine must reproduce the worker's full state bit-for-bit — the
+    invariant the pooled path now rides on.
+    """
+
+    def test_diff_reproduces_full_state(self):
+        from repro.cachesim.engine import ArrayLRUEngine
+        from repro.cachesim.expand import set_index
+        from repro.cachesim.stats import CacheStats
+
+        geometry = CacheGeometry(4, 64, 32)
+        trace = random_trace(np.random.default_rng(41), n=500)
+        line_ids, writes, label_ids = _expand_lines(
+            trace, geometry.line_size
+        )
+        worker = ArrayLRUEngine(geometry)
+        worker.replay(line_ids, writes, label_ids, trace.labels, CacheStats())
+        touched = np.unique(set_index(line_ids, geometry.num_sets))
+        diff = worker.state_diff(touched)
+        # Only the touched rows travel (tags are (sets, ways) rows).
+        assert diff["tags"].shape[0] == touched.shape[0]
+        assert diff["sets"].shape == touched.shape
+        parent = ArrayLRUEngine(geometry)
+        parent.apply_state_diff(diff)
+        np.testing.assert_array_equal(parent._tags, worker._tags)
+        np.testing.assert_array_equal(parent._age, worker._age)
+        np.testing.assert_array_equal(parent._dirty, worker._dirty)
+        np.testing.assert_array_equal(parent._label, worker._label)
+        assert parent.clock == worker.clock
+        assert parent._labels == worker._labels
+
+    def test_diff_smaller_than_shard_slice(self):
+        # A narrow trace touches few sets: the diff must be the touched
+        # fraction, not the full 1/num_shards slice.
+        from repro.cachesim.engine import ArrayLRUEngine
+        from repro.cachesim.expand import set_index
+        from repro.cachesim.stats import CacheStats
+
+        geometry = CacheGeometry(4, 256, 32)
+        n = 300
+        stride = geometry.line_size * geometry.num_sets
+        trace = ReferenceTrace(
+            (np.arange(n, dtype=np.int64) % 5) * stride,  # set 0 only
+            np.full(n, 4, dtype=np.int64),
+            np.zeros(n, dtype=bool),
+            np.zeros(n, dtype=np.int32),
+            ["x"],
+        )
+        line_ids, writes, label_ids = _expand_lines(
+            trace, geometry.line_size
+        )
+        engine = ArrayLRUEngine(geometry)
+        engine.replay(line_ids, writes, label_ids, trace.labels, CacheStats())
+        touched = np.unique(set_index(line_ids, geometry.num_sets))
+        assert touched.tolist() == [0]
+        diff = engine.state_diff(touched)
+        assert diff["tags"].shape[0] == 1
+        assert (
+            diff["tags"].nbytes
+            < engine.shard_state(0, 4)["tags"].nbytes
+        )
+
+    def test_pooled_warm_rerun_round_trips_diffs(self):
+        # Two pooled runs on one simulator: the second run's workers
+        # start from diff-restored state, so any scatter bug shows up
+        # as a stats mismatch against the single-process baseline.
+        geometry = CacheGeometry(4, 64, 32)
+        rng = np.random.default_rng(43)
+        base, sharded = sharded_pair(geometry, 4, jobs=2)
+        for _ in range(3):
+            trace = random_trace(rng, n=700)
+            base.run(trace)
+            sharded.run(trace)
+            assert_identical(sharded, base, trace.labels)
+
+
 class TestShmTransport:
     def test_round_trip(self):
         trace = random_trace(np.random.default_rng(2), n=333)

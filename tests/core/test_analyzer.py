@@ -101,3 +101,88 @@ class TestValidation:
         assert v.relative_error == 0.0
         v2 = StructureValidation("x", simulated=0.0, estimated=5.0)
         assert v2.relative_error == float("inf")
+
+
+class TestStreamingValidation:
+    """chunk_refs / sim_mode plumbing through validate_kernel."""
+
+    def _exact(self, **kwargs):
+        return validate_kernel(
+            KERNELS["VM"], TEST_WORKLOADS["VM"], PAPER_CACHES["small"],
+            **kwargs,
+        )
+
+    def test_streamed_matches_monolithic(self):
+        base = self._exact()
+        streamed = self._exact(chunk_refs=97)
+        assert [
+            (s.structure, s.simulated) for s in streamed.structures
+        ] == [(s.structure, s.simulated) for s in base.structures]
+        assert all(
+            s.simulated_halfwidth == 0.0 for s in streamed.structures
+        )
+
+    def test_streamed_with_trace_cache_matches(self, tmp_path):
+        base = self._exact()
+        streamed = self._exact(chunk_refs=97, trace_cache=tmp_path)
+        assert [
+            (s.structure, s.simulated) for s in streamed.structures
+        ] == [(s.structure, s.simulated) for s in base.structures]
+
+    def test_estimate_census_matches_exact(self):
+        base = self._exact()
+        census = self._exact(
+            sim_mode="estimate", estimate_options={"sample_fraction": 1.0}
+        )
+        for a, c in zip(base.structures, census.structures):
+            assert c.simulated == a.simulated
+            assert c.simulated_halfwidth == 0.0
+
+    def test_streamed_estimate_matches_monolithic_estimate(self):
+        opts = {"sample_fraction": 0.5, "seed": 3}
+        mono = self._exact(sim_mode="estimate", estimate_options=dict(opts))
+        streamed = self._exact(
+            sim_mode="estimate", estimate_options=dict(opts), chunk_refs=53
+        )
+        assert [
+            (s.simulated, s.simulated_halfwidth) for s in mono.structures
+        ] == [
+            (s.simulated, s.simulated_halfwidth)
+            for s in streamed.structures
+        ]
+
+    def test_bad_sim_mode_rejected(self):
+        with pytest.raises(ValueError, match="sim_mode"):
+            self._exact(sim_mode="guess")
+
+    def test_estimate_options_need_estimate_mode(self):
+        with pytest.raises(ValueError, match="estimate_options"):
+            self._exact(estimate_options={"seed": 1})
+
+    def test_streaming_estimate_rejects_reference_engine(self):
+        from repro.cachesim import CacheEngineError
+
+        with pytest.raises(CacheEngineError, match="array"):
+            self._exact(
+                sim_mode="estimate", chunk_refs=100, engine="reference"
+            )
+
+    def test_analyzer_config_streaming_knobs(self):
+        kernel, workload = KERNELS["VM"], TEST_WORKLOADS["VM"]
+        base = DVFAnalyzer(
+            AnalyzerConfig(geometry=PAPER_CACHES["small"])
+        ).analyze_simulated(kernel, workload)
+        streamed = DVFAnalyzer(
+            AnalyzerConfig(geometry=PAPER_CACHES["small"], chunk_refs=211)
+        ).analyze_simulated(kernel, workload)
+        for s in base.structures:
+            assert streamed.structure(s.name).nha == s.nha
+        census = DVFAnalyzer(
+            AnalyzerConfig(
+                geometry=PAPER_CACHES["small"],
+                sim_mode="estimate",
+                estimate_options={"sample_fraction": 1.0},
+            )
+        ).analyze_simulated(kernel, workload)
+        for s in base.structures:
+            assert census.structure(s.name).nha == s.nha

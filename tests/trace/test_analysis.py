@@ -122,3 +122,82 @@ class TestSuggestPattern:
     def test_unknown_label(self):
         with pytest.raises(KeyError):
             suggest_pattern(stream_trace(), "missing")
+
+
+class TestChunkedAnalysis:
+    """Chunk-iterator inputs must reproduce monolithic results exactly."""
+
+    def _trace(self):
+        rng = np.random.default_rng(17)
+        rec = TraceRecorder()
+        rec.allocate("A", 512, 8)
+        rec.allocate("B", 128, 16)
+        rec.record_elements("A", rng.integers(0, 512, 900), False)
+        rec.record_elements("B", rng.integers(0, 128, 400), True)
+        rec.record_elements("A", rng.integers(0, 512, 300), True)
+        return rec.finish()
+
+    @pytest.mark.parametrize("chunk_refs", [1, 7, 100, 4096])
+    def test_reuse_histogram_chunked(self, chunk_refs):
+        from repro.trace import iter_chunks
+
+        trace = self._trace()
+        whole = reuse_distance_histogram(trace, line_size=64)
+        chunked = reuse_distance_histogram(
+            iter_chunks(trace, chunk_refs), line_size=64
+        )
+        assert chunked == whole
+
+    @pytest.mark.parametrize("chunk_refs", [1, 7, 100, 4096])
+    def test_miss_ratio_curve_chunked(self, chunk_refs):
+        from repro.trace import iter_chunks
+
+        trace = self._trace()
+        whole = miss_ratio_curve(trace, line_size=64)
+        chunked = miss_ratio_curve(
+            iter_chunks(trace, chunk_refs), line_size=64
+        )
+        assert chunked == whole
+
+    @pytest.mark.parametrize("chunk_refs", [1, 7, 100, 4096])
+    def test_footprint_summary_chunked(self, chunk_refs):
+        from repro.trace import iter_chunks
+
+        trace = self._trace()
+        assert footprint_summary(
+            iter_chunks(trace, chunk_refs)
+        ) == footprint_summary(trace)
+
+    def test_label_filter_across_growing_tables(self):
+        # Chunked from a recorder, "B" is absent from early chunk label
+        # tables; the filter must skip those chunks, not raise.
+        from repro.trace import iter_chunks
+
+        trace = self._trace()
+        whole = reuse_distance_histogram(trace, line_size=64, label="B")
+        chunked = reuse_distance_histogram(
+            iter_chunks(trace, 50), line_size=64, label="B"
+        )
+        assert chunked == whole
+
+    def test_missing_label_still_raises(self):
+        from repro.trace import iter_chunks
+
+        trace = self._trace()
+        with pytest.raises(KeyError, match="missing"):
+            reuse_distance_histogram(
+                iter_chunks(trace, 100), label="missing"
+            )
+
+    def test_recorder_finish_chunks_feed(self):
+        rng = np.random.default_rng(19)
+        indices = rng.integers(0, 256, 700)
+        mono, streamed = TraceRecorder(), TraceRecorder()
+        for rec in (mono, streamed):
+            rec.allocate("A", 256, 8)
+            rec.record_elements("A", indices, False)
+        whole = miss_ratio_curve(mono.finish(), line_size=64)
+        chunked = miss_ratio_curve(
+            streamed.finish_chunks(93), line_size=64
+        )
+        assert chunked == whole

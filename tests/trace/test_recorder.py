@@ -277,3 +277,105 @@ class TestTraceIO:
         assert loaded.labels == ["A", "B"]
         assert (loaded.addresses == trace.addresses).all()
         assert (loaded.is_write == trace.is_write).all()
+
+
+class TestStreamingRecorder:
+    """finish_chunks / sink-mode streaming vs the monolithic finish()."""
+
+    def _record(self, rec, seed=23, n=700):
+        rng = np.random.default_rng(seed)
+        rec.allocate("A", 256, 8)
+        rec.allocate("B", 64, 16)
+        rec.record_elements("A", rng.integers(0, 256, n), False)
+        rec.record_elements("B", rng.integers(0, 64, n // 2), True)
+        rec.record_element("A", 0, is_write=True)
+
+    def _assert_concat_equals(self, chunks, trace):
+        assert [list(c.labels) for c in chunks]  # non-empty
+        np.testing.assert_array_equal(
+            np.concatenate([c.addresses for c in chunks]), trace.addresses
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([c.sizes for c in chunks]), trace.sizes
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([c.is_write for c in chunks]), trace.is_write
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([c.label_ids for c in chunks]), trace.label_ids
+        )
+        for chunk in chunks:
+            assert chunk.labels == trace.labels[: len(chunk.labels)]
+
+    def test_finish_chunks_reproduces_finish(self):
+        mono, streamed = TraceRecorder(), TraceRecorder()
+        self._record(mono)
+        self._record(streamed)
+        trace = mono.finish()
+        chunks = list(streamed.finish_chunks(100))
+        assert [len(c) for c in chunks[:-1]] == [100] * (len(chunks) - 1)
+        assert 0 < len(chunks[-1]) <= 100
+        self._assert_concat_equals(chunks, trace)
+
+    def test_finish_refuses_after_partial_drain(self):
+        rec = TraceRecorder()
+        self._record(rec)
+        gen = rec.finish_chunks(100)
+        next(gen)
+        with pytest.raises(RuntimeError, match="streamed"):
+            rec.finish()
+
+    def test_sink_mode_autoflush(self):
+        sizes = []
+        sink_chunks = []
+
+        def sink(chunk):
+            sizes.append(len(chunk))
+            sink_chunks.append(chunk)
+
+        mono = TraceRecorder()
+        self._record(mono)
+        streamed = TraceRecorder(chunk_refs=250, sink=sink)
+        self._record(streamed)
+        streamed.flush_tail()
+        n = len(mono)
+        full, tail = divmod(n, 250)
+        expected = [250] * full + ([tail] if tail else [])
+        assert sizes == expected
+        self._assert_concat_equals(sink_chunks, mono.finish())
+
+    def test_sink_mode_finish_refused(self):
+        rec = TraceRecorder(chunk_refs=10, sink=lambda c: None)
+        rec.allocate("A", 64, 8)
+        rec.record_stream("A", 0, 64)
+        with pytest.raises(RuntimeError, match="streamed"):
+            rec.finish()
+
+    def test_sink_mode_finish_chunks_refused(self):
+        rec = TraceRecorder(chunk_refs=10, sink=lambda c: None)
+        with pytest.raises(RuntimeError, match="sink"):
+            next(rec.finish_chunks())
+
+    def test_flush_tail_requires_sink(self):
+        rec = TraceRecorder()
+        with pytest.raises(RuntimeError, match="sink"):
+            rec.flush_tail()
+
+    def test_sink_requires_chunk_refs(self):
+        with pytest.raises(ValueError, match="chunk_refs"):
+            TraceRecorder(sink=lambda c: None)
+
+    def test_chunk_refs_below_one_rejected(self):
+        with pytest.raises(ValueError, match="chunk_refs"):
+            TraceRecorder(chunk_refs=0)
+        rec = TraceRecorder()
+        rec.allocate("A", 8, 8)
+        rec.record_element("A", 0, False)
+        with pytest.raises(ValueError, match="chunk_refs"):
+            next(rec.finish_chunks(0))
+
+    def test_finish_chunks_default_from_constructor(self):
+        rec = TraceRecorder(chunk_refs=5)
+        rec.allocate("A", 64, 8)
+        rec.record_stream("A", 0, 12)
+        assert [len(c) for c in rec.finish_chunks()] == [5, 5, 2]
